@@ -1,0 +1,111 @@
+//! Microbenchmarks of the hot simulator and protocol paths: event-queue
+//! churn, port-queue operations, the TFC token engine's per-packet cost,
+//! and raw simulated-packet throughput of the whole stack.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simnet::app::NullApp;
+use simnet::endpoint::FlowSpec;
+use simnet::event::{Event, EventQueue};
+use simnet::packet::{Flags, FlowId, NodeId, Packet, MSS};
+use simnet::queue::PortQueue;
+use simnet::sim::{SimConfig, Simulator};
+use simnet::topology::star;
+use simnet::units::{Bandwidth, Dur, Time};
+use std::hint::black_box;
+use tfc::config::TfcSwitchConfig;
+use tfc::port::TokenEngine;
+use tfc::{TfcStack, TfcSwitchPolicy};
+
+fn event_queue_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(Time(i * 37 % 5_000), Event::AppTimer { token: i });
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn port_queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("port_queue");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("enqueue_dequeue_1k", |b| {
+        let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, MSS);
+        b.iter(|| {
+            let mut q = PortQueue::new(16 << 20);
+            for _ in 0..1_000 {
+                q.enqueue(pkt.clone());
+            }
+            while let Some(p) = q.dequeue() {
+                black_box(p);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn token_engine_per_packet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("on_data_10k", |b| {
+        let mut rm = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, MSS);
+        rm.flags.set(Flags::RM);
+        let plain = Packet::data(FlowId(2), NodeId(0), NodeId(1), 0, MSS);
+        b.iter(|| {
+            let mut e = TokenEngine::new(Bandwidth::gbps(10), TfcSwitchConfig::default());
+            for i in 0..10_000u64 {
+                let t = Time(i * 1_200);
+                if i % 10 == 0 {
+                    black_box(e.on_data(&rm, t));
+                } else {
+                    black_box(e.on_data(&plain, t));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn end_to_end_packet_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("tfc_2flows_4mb", |b| {
+        b.iter(|| {
+            let (t, hosts, _) = star(3, Bandwidth::gbps(1), Dur::micros(1));
+            let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(TfcStack::default()),
+                NullApp,
+                SimConfig::default(),
+            );
+            for i in 0..2 {
+                sim.core_mut().start_flow(FlowSpec {
+                    src: hosts[i],
+                    dst: hosts[2],
+                    bytes: Some(2_000_000),
+                    weight: 1,
+                });
+            }
+            sim.run();
+            black_box(sim.core().events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    event_queue_churn,
+    port_queue_ops,
+    token_engine_per_packet,
+    end_to_end_packet_rate
+);
+criterion_main!(micro);

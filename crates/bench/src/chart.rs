@@ -1,0 +1,162 @@
+//! Terminal chart rendering for the figure harness.
+//!
+//! Small, dependency-free ASCII plots so `figures` output shows the
+//! *shape* of each curve directly in the terminal, next to the numeric
+//! rows and the JSON dumps.
+
+/// Renders one or more `(label, points)` series as an ASCII line chart.
+///
+/// Each series gets its own glyph; overlapping cells show the glyph of
+/// the later series. Axes are annotated with min/max of both dimensions.
+///
+/// # Examples
+///
+/// ```
+/// let s = tfc_bench::chart::line_chart(
+///     &[("a", &[(0.0, 0.0), (1.0, 1.0)])],
+///     20,
+///     5,
+/// );
+/// assert!(s.contains('*'));
+/// ```
+pub fn line_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(8);
+    let height = height.max(3);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y1:>10.3e}")
+        } else if i == height - 1 {
+            format!("{y0:>10.3e}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>12.3e}{:>width$.3e}\n", x0, x1, width = width));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("            [{}]\n", legend.join("  ")));
+    out
+}
+
+/// Renders labelled values as a horizontal bar chart (one row each).
+///
+/// # Examples
+///
+/// ```
+/// let s = tfc_bench::chart::bar_chart(&[("tfc", 9.0), ("tcp", 3.0)], 30);
+/// assert!(s.lines().count() == 2);
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    let width = width.max(4);
+    let max = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &(name, v) in rows {
+        let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{name:<label_w$} |{}{} {v:.3e}\n",
+            "█".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_extremes() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = line_chart(&[("sq", &pts)], 40, 10);
+        assert!(s.contains("2.401e3"), "max label missing:\n{s}");
+        assert!(s.contains('*'));
+        assert!(s.contains("sq"));
+        assert_eq!(s.lines().count(), 13);
+    }
+
+    #[test]
+    fn line_chart_multi_series_legend() {
+        let a = [(0.0, 1.0), (1.0, 2.0)];
+        let b = [(0.0, 2.0), (1.0, 1.0)];
+        let s = line_chart(&[("up", &a), ("down", &b)], 20, 5);
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_flat() {
+        assert_eq!(line_chart(&[("e", &[])], 10, 4), "(no data)\n");
+        let flat = [(0.0, 5.0), (1.0, 5.0)];
+        let s = line_chart(&[("f", &flat)], 10, 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(&[("a", 10.0), ("b", 5.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let bars_a = lines[0].matches('█').count();
+        let bars_b = lines[1].matches('█').count();
+        assert_eq!(bars_a, 10);
+        assert_eq!(bars_b, 5);
+    }
+
+    #[test]
+    fn bar_chart_zero_values() {
+        let s = bar_chart(&[("z", 0.0)], 10);
+        assert!(!s.contains('█'));
+    }
+}

@@ -1,0 +1,587 @@
+//! The per-port token engine: §4 of the paper as a pure state machine.
+//!
+//! One [`TokenEngine`] instance manages one switch egress port. It
+//! implements the paper's five switch modules that sit on the data path
+//! of §5.2 — RTT timer, N (effective-flow) counter, rho counter, token
+//! allocator, and window calculator — without touching the simulator, so
+//! it can be unit-tested directly.
+
+use simnet::packet::{FlowId, Packet, RTT_PROBE_FRAME};
+use simnet::units::{Bandwidth, Dur, Time};
+
+use crate::config::TfcSwitchConfig;
+
+/// Per-slot measurements published when a slot closes (for tracing and
+/// tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotReport {
+    /// Number of effective flows measured in the closed slot.
+    pub effective_flows: f64,
+    /// Instantaneous slot length (`rtt_m`).
+    pub rtt_m: Dur,
+    /// Minimum filtered base RTT (`rtt_b`).
+    pub rtt_b: Dur,
+    /// Measured utilisation of the slot.
+    pub rho: f64,
+    /// Smoothed token value in bytes after adjustment.
+    pub token_bytes: f64,
+    /// Window for the next slot, in bytes.
+    pub window_bytes: u64,
+}
+
+/// The token engine for one egress port.
+///
+/// Feed it every data-direction packet with
+/// [`on_data`](TokenEngine::on_data); it returns `Some(SlotReport)` when
+/// the packet was the delimiter flow's round mark and a slot closed. Read
+/// the current window with [`window`](TokenEngine::window) to stamp RM
+/// packets.
+#[derive(Debug)]
+pub struct TokenEngine {
+    cfg: TfcSwitchConfig,
+    rate: Bandwidth,
+    delimiter: Option<FlowId>,
+    slot_start: Time,
+    /// Count of round marks seen this slot. The paper's Event 1 resets
+    /// `E = 1` at slot close (the delimiter's own mark).
+    e_count: f64,
+    arrived_bytes: u64,
+    rtt_b: Dur,
+    rtt_m: Dur,
+    /// Effective-flow count of the previous slot (for the §4.3 two-slot
+    /// average).
+    e_prev: Option<f64>,
+    token: f64,
+    window: u64,
+    /// Set when the delimiter timed out; the next RM from any flow is
+    /// adopted as the new delimiter.
+    rearm: bool,
+    miss_k: u32,
+    /// Whether `rtt_b` has been measured at least once (vs. the
+    /// configured initial guess).
+    rttb_measured: bool,
+    /// Whether the RM that opened the current slot was a full frame.
+    /// `rtt_b` intervals are only valid between two full frames (§4.4):
+    /// store-and-forward time depends on frame size, so a slot opened by
+    /// a small probe and closed by a data packet reads short.
+    slot_opener_full: bool,
+}
+
+impl TokenEngine {
+    /// Creates an engine for a port of the given line rate.
+    pub fn new(rate: Bandwidth, cfg: TfcSwitchConfig) -> Self {
+        let init_token = rate.bytes_per_sec() * cfg.init_rttb.as_secs_f64();
+        Self {
+            cfg,
+            rate,
+            delimiter: None,
+            slot_start: Time::ZERO,
+            e_count: 1.0,
+            arrived_bytes: 0,
+            rtt_b: cfg.init_rttb,
+            rtt_m: cfg.init_rttb,
+            e_prev: None,
+            token: init_token,
+            window: init_token as u64,
+            rearm: false,
+            miss_k: 0,
+            rttb_measured: false,
+            slot_opener_full: false,
+        }
+    }
+
+    /// Current window (bytes) to stamp into RM packets.
+    ///
+    /// Until the first real `rtt_b` measurement the stamp is capped at a
+    /// few segments: the configured initial pipe (`c × 160 µs`) can be
+    /// an order above the true one, and stamping it into a burst of
+    /// establishing flows builds a standing queue that then inflates
+    /// every subsequent RTT measurement (the queue hides the base RTT
+    /// from the min filter). A short conservative start avoids the
+    /// overshoot entirely; one RTT later the token snaps to the
+    /// measured pipe.
+    pub fn window(&self) -> u64 {
+        if self.rttb_measured {
+            self.window
+        } else {
+            self.window.min(Self::COLD_START_CAP)
+        }
+    }
+
+    /// Current smoothed token value in bytes.
+    pub fn token_bytes(&self) -> f64 {
+        self.token
+    }
+
+    /// Base RTT estimate.
+    pub fn rtt_b(&self) -> Dur {
+        self.rtt_b
+    }
+
+    /// Last instantaneous slot length.
+    pub fn rtt_m(&self) -> Dur {
+        self.rtt_m
+    }
+
+    /// The current delimiter flow, if armed.
+    pub fn delimiter(&self) -> Option<FlowId> {
+        self.delimiter
+    }
+
+    /// Current delimiter-miss exponent (diagnostics).
+    pub fn miss_k(&self) -> u32 {
+        self.miss_k
+    }
+
+    /// When the current slot opened (adoption or last close).
+    pub fn slot_start(&self) -> Time {
+        self.slot_start
+    }
+
+    /// Token divided by the round marks counted *so far* in the open
+    /// slot. In steady state this is at least the computed window (the
+    /// live count has not reached `E` yet), so min-clamping stamps with
+    /// it changes nothing; during a concurrent-arrival burst (incast
+    /// establishment) it caps the k-th new flow at `token / k` instead
+    /// of everyone receiving the stale single-flow window.
+    pub fn live_window(&self) -> u64 {
+        let w = (self.token / self.e_count.max(1.0)).max(1.0) as u64;
+        if self.rttb_measured {
+            w
+        } else {
+            w.min(Self::COLD_START_CAP)
+        }
+    }
+
+    /// Pre-measurement stamp cap: four full segments.
+    pub const COLD_START_CAP: u64 = 4 * simnet::packet::MSS;
+
+    /// Window for a flow of the given allocation weight:
+    /// `weight × token / E` (the unit-weight [`window`](Self::window)
+    /// scaled), with the same cold-start cap.
+    pub fn window_for(&self, weight: u8) -> u64 {
+        let w = self.window.saturating_mul(weight.max(1) as u64);
+        if self.rttb_measured {
+            w
+        } else {
+            w.min(Self::COLD_START_CAP)
+        }
+    }
+
+    /// Weighted variant of [`live_window`](Self::live_window).
+    pub fn live_window_for(&self, weight: u8) -> u64 {
+        self.live_window().saturating_mul(weight.max(1) as u64)
+    }
+
+    /// Processes a data-direction packet headed out this port
+    /// (the paper's Event 1). Returns a report when a slot closed.
+    pub fn on_data(&mut self, pkt: &Packet, now: Time) -> Option<SlotReport> {
+        self.arrived_bytes += pkt.wire_bytes();
+        if !pkt.flags.contains(simnet::packet::Flags::RM) {
+            return None;
+        }
+        match self.delimiter {
+            None => {
+                self.adopt(pkt, now);
+                None
+            }
+            Some(d) if d == pkt.flow => Some(self.close_slot(pkt, now)),
+            Some(_) if self.rearm => {
+                // The old delimiter timed out; switch to this flow.
+                self.adopt(pkt, now);
+                None
+            }
+            Some(_) => {
+                // Weighted-allocation extension: a weight-w flow counts
+                // as w consumers (§4.1's "any allocation policies").
+                self.e_count += pkt.weight.max(1) as f64;
+                None
+            }
+        }
+    }
+
+    /// Handles a FIN from the current delimiter flow: the port re-arms on
+    /// the next round mark (§5.2, "when the current delimiter flow
+    /// ends").
+    pub fn on_fin(&mut self, flow: FlowId) {
+        if self.delimiter == Some(flow) {
+            self.delimiter = None;
+            self.rearm = false;
+            self.miss_k = 0;
+        }
+    }
+
+    /// Delimiter-miss check (the `2^k × rtt_last` timer of §5.2).
+    /// Returns the delay until the next check, or `None` when the miss
+    /// budget is exhausted and the port has fully re-armed.
+    pub fn on_miss_timer(&mut self, armed_at: Time, now: Time) -> Option<Dur> {
+        if self.slot_start > armed_at || self.delimiter.is_none() {
+            // A slot closed (or the delimiter was replaced) since the
+            // timer was armed; the caller re-arms on the next close.
+            return None;
+        }
+        let _ = now;
+        self.rearm = true;
+        if self.miss_k >= self.cfg.max_miss_k {
+            // Give up on the delimiter entirely.
+            self.delimiter = None;
+            self.miss_k = 0;
+            return None;
+        }
+        self.miss_k += 1;
+        Some(self.miss_delay())
+    }
+
+    /// Current miss-timer delay: `2^(k+1) × rtt_last` (§5.2: the first
+    /// re-catch happens after `2 × rtt_last`, the second after
+    /// `4 × rtt_last`, and so on).
+    pub fn miss_delay(&self) -> Dur {
+        Dur(self.rtt_m.as_nanos() << (self.miss_k.min(self.cfg.max_miss_k) + 1))
+    }
+
+    fn adopt(&mut self, pkt: &Packet, now: Time) {
+        self.delimiter = Some(pkt.flow);
+        self.slot_start = now;
+        self.e_count = pkt.weight.max(1) as f64;
+        self.arrived_bytes = 0;
+        self.rearm = false;
+        // Deliberately keep `miss_k`: §5.2 escalates the re-catch delay
+        // (2×, 4×, ... rtt_last) across successive re-adoptions, and the
+        // escalation is what lets the check outlast a round that is
+        // longer than the stale `rtt_m` (e.g. the sub-MSS paced regime).
+        // A real slot close resets it.
+        self.slot_opener_full = pkt.wire_bytes() >= RTT_PROBE_FRAME;
+    }
+
+    fn close_slot(&mut self, pkt: &Packet, now: Time) -> SlotReport {
+        let rtt_m = now.since(self.slot_start);
+        if rtt_m > Dur::ZERO {
+            self.rtt_m = rtt_m;
+        }
+        // §4.4: only intervals between two full frames measure the base
+        // RTT, because store-and-forward time depends on frame size.
+        let closer_full = pkt.wire_bytes() >= RTT_PROBE_FRAME;
+        let mut snapped = false;
+        if closer_full && self.slot_opener_full && rtt_m > Dur::ZERO {
+            self.rtt_b = self.rtt_b.min(rtt_m);
+            if !self.rttb_measured {
+                // First real measurement: snap the token to the measured
+                // pipe instead of EWMA-dragging from the initial guess.
+                self.rttb_measured = true;
+                snapped = true;
+                self.token = self.rate.bytes_per_sec() * self.rtt_b.as_secs_f64() * self.cfg.rho0;
+            }
+        }
+        self.slot_opener_full = closer_full;
+        let rtt_for_token = if self.cfg.decouple_rtt {
+            self.rtt_b
+        } else {
+            self.rtt_m
+        };
+        let pipe = self.rate.bytes_per_sec() * rtt_for_token.as_secs_f64();
+        let slot_capacity = self.rate.bytes_per_sec() * self.rtt_m.as_secs_f64();
+        let rho_raw = self.arrived_bytes as f64 / slot_capacity.max(1.0);
+        let raw_token = if self.cfg.token_adjustment && rho_raw >= self.cfg.rho_floor {
+            // Eq. 7: the rho0 / rho correction, with rho measured over
+            // the instantaneous slot. In integral mode the ratio applies
+            // to the current token (see `TfcSwitchConfig`).
+            let base = if self.cfg.integral_adjustment {
+                self.token
+            } else {
+                pipe
+            };
+            (base * self.cfg.rho0 / rho_raw).clamp(pipe * 0.25, pipe * self.cfg.token_boost_cap)
+        } else if self.cfg.token_adjustment {
+            // Nearly empty slot: idle gaps carry no demand signal, so
+            // boosting on them would inflate the token right before the
+            // next burst (e.g. between barrier-synchronised incast
+            // rounds). Hold the token instead.
+            self.token
+        } else {
+            pipe * self.cfg.rho0
+        };
+        // Eq. 8: EWMA with history weight alpha. The snap slot keeps the
+        // freshly measured pipe as-is.
+        if !snapped {
+            self.token = self.cfg.alpha * self.token + (1.0 - self.cfg.alpha) * raw_token;
+        }
+        let e_now = self.e_count.max(1.0);
+        let e = if self.cfg.e_two_slot_average {
+            let avg = (e_now + self.e_prev.unwrap_or(e_now)) / 2.0;
+            self.e_prev = Some(e_now);
+            avg
+        } else {
+            e_now
+        };
+        self.window = (self.token / e).max(1.0) as u64;
+
+        let report = SlotReport {
+            effective_flows: e_now,
+            rtt_m: self.rtt_m,
+            rtt_b: self.rtt_b,
+            rho: rho_raw,
+            token_bytes: self.token,
+            window_bytes: self.window,
+        };
+        // Paper Event 1: "Let E = 1 and tstart = tnow" — the delimiter's
+        // own mark opens the next slot (its weight's worth of consumers).
+        self.e_count = pkt.weight.max(1) as f64;
+        self.arrived_bytes = 0;
+        self.slot_start = now;
+        self.miss_k = 0;
+        self.rearm = false;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::packet::{Flags, NodeId, MSS};
+    use simnet::units::Bandwidth;
+
+    const GBPS: Bandwidth = Bandwidth(1_000_000_000);
+
+    fn rm_data(flow: u64, payload: u64) -> Packet {
+        let mut p = Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, payload);
+        p.flags.set(Flags::RM);
+        p
+    }
+
+    fn data(flow: u64, payload: u64) -> Packet {
+        Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, payload)
+    }
+
+    fn engine() -> TokenEngine {
+        TokenEngine::new(GBPS, TfcSwitchConfig::default())
+    }
+
+    #[test]
+    fn initial_window_is_cold_start_capped() {
+        let mut e = engine();
+        // Pre-measurement: capped at four segments, not c × 160 µs.
+        assert_eq!(e.window(), TokenEngine::COLD_START_CAP);
+        // After a full-frame interval the cap lifts and the token snaps
+        // to the measured pipe.
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_data(&rm_data(1, MSS), Time(100_000));
+        assert!(e.window() > TokenEngine::COLD_START_CAP);
+        // Pipe = 1 Gbps × 100 µs × 0.97 = 12_125 B (one flow).
+        assert!((e.token_bytes() - 12_125.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn first_rm_adopts_delimiter() {
+        let mut e = engine();
+        assert!(e.on_data(&rm_data(7, MSS), Time(1_000)).is_none());
+        assert_eq!(e.delimiter(), Some(FlowId(7)));
+    }
+
+    #[test]
+    fn slot_counts_effective_flows() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // Two other flows mark once, delimiter closes the slot.
+        e.on_data(&rm_data(2, MSS), Time(10_000));
+        e.on_data(&rm_data(3, MSS), Time(20_000));
+        let report = e
+            .on_data(&rm_data(1, MSS), Time(100_000))
+            .expect("slot closes");
+        assert_eq!(report.effective_flows, 3.0);
+        assert_eq!(report.rtt_m, Dur::micros(100));
+    }
+
+    #[test]
+    fn window_is_token_over_e() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        for f in 2..=4 {
+            e.on_data(&rm_data(f, MSS), Time(1_000 * f));
+        }
+        let r = e.on_data(&rm_data(1, MSS), Time(160_000)).unwrap();
+        assert_eq!(r.effective_flows, 4.0);
+        assert_eq!(r.window_bytes, (r.token_bytes / 4.0) as u64);
+    }
+
+    #[test]
+    fn rtt_b_takes_minimum_full_frames_only() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // A small marked frame closes a slot but must not update rtt_b.
+        e.on_data(&rm_data(1, 100), Time(50_000));
+        assert_eq!(e.rtt_b(), Dur::micros(160));
+        // An interval opened by the small frame is invalid too, even if
+        // closed by a full frame.
+        e.on_data(&rm_data(1, MSS), Time(150_000));
+        assert_eq!(e.rtt_b(), Dur::micros(160));
+        // A full-frame-to-full-frame interval finally measures.
+        e.on_data(&rm_data(1, MSS), Time(250_000));
+        assert_eq!(e.rtt_b(), Dur::micros(100));
+        // Larger samples never raise it back.
+        e.on_data(&rm_data(1, MSS), Time(550_000));
+        assert_eq!(e.rtt_b(), Dur::micros(100));
+    }
+
+    #[test]
+    fn token_adjustment_boosts_underutilised_link() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // Slots of 160 µs carrying 8 packets: rho = 0.6, well above the
+        // idle threshold but below rho0, so the token must be boosted
+        // past the pipe (20 kB).
+        let mut last = 0.0;
+        for i in 1..=60u64 {
+            for _ in 0..7 {
+                e.on_data(&data(2, MSS), Time(i * 160_000 - 1));
+            }
+            if let Some(r) = e.on_data(&rm_data(1, MSS), Time(i * 160_000)) {
+                last = r.token_bytes;
+            }
+        }
+        assert!(last > 20_000.0, "token should grow, got {last}");
+        // Bounded by the boost cap.
+        let cap = 4.0 * 1.25e8 * 160e-6;
+        assert!(last <= cap * 1.01);
+    }
+
+    #[test]
+    fn idle_slots_hold_the_token() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_data(&rm_data(1, MSS), Time(160_000));
+        let after_snap = e.token_bytes();
+        // Near-empty slots (one mark each, rho ≈ 0.075) must not move
+        // the token.
+        for i in 2..=20u64 {
+            e.on_data(&rm_data(1, MSS), Time(i * 160_000));
+        }
+        assert_eq!(e.token_bytes(), after_snap);
+    }
+
+    #[test]
+    fn token_adjustment_shrinks_overloaded_link() {
+        let cfg = TfcSwitchConfig::default();
+        let mut e = TokenEngine::new(GBPS, cfg);
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // Stuff 3 pipes' worth of arrivals into each slot: rho = 3.
+        for i in 1..=40u64 {
+            for _ in 0..40 {
+                e.on_data(&data(2, MSS), Time(i * 160_000 - 1));
+            }
+            e.on_data(&rm_data(1, MSS), Time(i * 160_000));
+        }
+        // rho ≈ 3 ⇒ token ≈ pipe × 0.97 / 3.
+        let expect = 20_000.0 * 0.97 / 3.0;
+        assert!(
+            (e.token_bytes() - expect).abs() / expect < 0.25,
+            "token {} vs expected {expect}",
+            e.token_bytes()
+        );
+    }
+
+    #[test]
+    fn ablation_disables_adjustment() {
+        let cfg = TfcSwitchConfig {
+            token_adjustment: false,
+            ..Default::default()
+        };
+        let mut e = TokenEngine::new(GBPS, cfg);
+        e.on_data(&rm_data(1, MSS), Time(0));
+        for i in 1..=40u64 {
+            e.on_data(&rm_data(1, MSS), Time(i * 160_000));
+        }
+        // Without adjustment the token settles at rho0 × pipe.
+        assert!((e.token_bytes() - 0.97 * 20_000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn fin_clears_delimiter_and_next_rm_adopts() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_fin(FlowId(1));
+        assert_eq!(e.delimiter(), None);
+        e.on_data(&rm_data(9, MSS), Time(1_000));
+        assert_eq!(e.delimiter(), Some(FlowId(9)));
+    }
+
+    #[test]
+    fn foreign_fin_does_not_clear() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_fin(FlowId(2));
+        assert_eq!(e.delimiter(), Some(FlowId(1)));
+    }
+
+    #[test]
+    fn miss_timer_rearms_on_other_flow() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // Timer armed at t=0 fires later with no delimiter RM in between.
+        let next = e.on_miss_timer(Time(0), Time(320_000));
+        assert!(next.is_some());
+        // Another flow's RM is now adopted.
+        e.on_data(&rm_data(2, MSS), Time(330_000));
+        assert_eq!(e.delimiter(), Some(FlowId(2)));
+    }
+
+    #[test]
+    fn miss_timer_noop_when_slot_progressed() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_data(&rm_data(1, MSS), Time(100_000)); // slot closed
+        assert_eq!(e.on_miss_timer(Time(0), Time(320_000)), None);
+        assert_eq!(e.delimiter(), Some(FlowId(1)));
+    }
+
+    #[test]
+    fn miss_budget_exhausts_to_full_rearm() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        let mut armed = Time(0);
+        let mut fired = 0;
+        while let Some(d) = e.on_miss_timer(armed, Time(armed.nanos() + 1)) {
+            armed = Time(armed.nanos() + d.as_nanos());
+            fired += 1;
+            assert!(fired < 100, "miss loop must terminate");
+        }
+        assert_eq!(e.delimiter(), None);
+        assert_eq!(fired, TfcSwitchConfig::default().max_miss_k);
+    }
+
+    #[test]
+    fn miss_delay_doubles() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        let d0 = e.miss_delay();
+        e.on_miss_timer(Time(0), Time(400_000));
+        let d1 = e.miss_delay();
+        assert_eq!(d1.as_nanos(), d0.as_nanos() * 2);
+    }
+
+    #[test]
+    fn weighted_flows_count_as_multiple_consumers() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        // A weight-3 flow's mark counts as three consumers.
+        let mut heavy = rm_data(2, MSS);
+        heavy.weight = 3;
+        e.on_data(&heavy, Time(10_000));
+        let r = e.on_data(&rm_data(1, MSS), Time(160_000)).unwrap();
+        assert_eq!(r.effective_flows, 4.0);
+        // And its stamp is three unit windows.
+        assert_eq!(e.window_for(3), e.window().saturating_mul(3));
+    }
+
+    #[test]
+    fn non_rm_packets_only_count_arrivals() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        for _ in 0..5 {
+            assert!(e.on_data(&data(2, MSS), Time(1_000)).is_none());
+        }
+        let r = e.on_data(&rm_data(1, MSS), Time(160_000)).unwrap();
+        assert_eq!(r.effective_flows, 1.0);
+        // 5 non-RM + 1 RM(open) + 1 RM(close): rho counts them all.
+        assert!(r.rho > 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The TFC protocol stack factory.
+
+use simnet::endpoint::{FlowSpec, ProtocolStack, ReceiverEndpoint, SenderEndpoint};
+use simnet::packet::FlowId;
+use transport::recv::{EchoMode, StreamReceiver};
+
+use crate::config::TfcHostConfig;
+use crate::sender::TfcSender;
+
+/// TFC for every flow. Pair with [`crate::switch::TfcSwitchPolicy`]
+/// switches — without them, senders fall back to the receiver's
+/// advertised window and the protocol degenerates to a fixed window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TfcStack {
+    /// Host-side configuration.
+    pub cfg: TfcHostConfig,
+}
+
+impl TfcStack {
+    /// Creates a stack with the given host config.
+    pub fn new(cfg: TfcHostConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl ProtocolStack for TfcStack {
+    fn new_sender(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn SenderEndpoint> {
+        Box::new(TfcSender::with_weight(
+            flow,
+            spec.src,
+            spec.dst,
+            spec.bytes,
+            self.cfg,
+            spec.weight,
+        ))
+    }
+
+    fn new_receiver(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn ReceiverEndpoint> {
+        Box::new(StreamReceiver::new(
+            flow,
+            spec.dst,
+            spec.src,
+            spec.bytes,
+            EchoMode::Tfc {
+                awnd: self.cfg.awnd,
+            },
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "tfc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::packet::NodeId;
+
+    #[test]
+    fn stack_builds_endpoints() {
+        let stack = TfcStack::default();
+        assert_eq!(stack.name(), "tfc");
+        let spec = FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes: Some(5_000),
+            weight: 1,
+        };
+        let s = stack.new_sender(FlowId(3), &spec);
+        assert_eq!(s.cwnd(), 0, "no window before acquisition");
+        let r = stack.new_receiver(FlowId(3), &spec);
+        assert_eq!(r.delivered_bytes(), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Paper-experiment assembly: one module per figure of §6.
+pub mod ablations;
+pub mod benchmark;
+pub mod goodput;
+pub mod incast;
+pub mod ne;
+pub mod proto;
+pub mod rho;
+pub mod rttb;
+pub mod sweeps;
+pub mod util;
+pub mod workconserving;
+
+pub use proto::{Proto, ProtoConfig};

@@ -1,0 +1,123 @@
+//! Protocol selection shared by every experiment.
+
+use simnet::endpoint::ProtocolStack;
+use simnet::policy::{DropTail, EcnMark, SwitchPolicy};
+use simnet::topology::{Network, TopologyBuilder};
+use tfc::config::{TfcHostConfig, TfcSwitchConfig};
+use tfc::{TfcStack, TfcSwitchPolicy};
+use transport::{DctcpStack, TcpConfig, TcpStack};
+
+/// The three protocols the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// TCP NewReno on drop-tail switches.
+    Tcp,
+    /// DCTCP on ECN-marking switches.
+    Dctcp,
+    /// TFC on token-engine switches.
+    Tfc,
+}
+
+impl Proto {
+    /// All three, in the paper's usual presentation order.
+    pub const ALL: [Proto; 3] = [Proto::Tfc, Proto::Dctcp, Proto::Tcp];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Proto::Tcp => "TCP",
+            Proto::Dctcp => "DCTCP",
+            Proto::Tfc => "TFC",
+        }
+    }
+}
+
+/// Per-run protocol parameters with paper defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoConfig {
+    /// ECN marking threshold for DCTCP switches (paper: 32 KB at
+    /// 1 Gbps; scale with the line rate for 10 Gbps runs).
+    pub ecn_k_bytes: u64,
+    /// TFC switch parameters.
+    pub tfc_switch: TfcSwitchConfig,
+    /// TFC host parameters.
+    pub tfc_host: TfcHostConfig,
+    /// Baseline TCP/DCTCP parameters.
+    pub tcp: TcpConfig,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        Self {
+            ecn_k_bytes: 32 * 1024,
+            tfc_switch: TfcSwitchConfig::default(),
+            tfc_host: TfcHostConfig::default(),
+            tcp: TcpConfig::default(),
+        }
+    }
+}
+
+impl ProtoConfig {
+    /// Scales rate-dependent knobs for a 10 Gbps fabric (§6.2): ECN K of
+    /// 65 full frames, and an initial `rtt_b` matching the 160 µs
+    /// inter-rack RTT of the simulation topology.
+    pub fn ten_gig() -> Self {
+        Self {
+            ecn_k_bytes: 65 * 1500,
+            ..Self::default()
+        }
+    }
+
+    /// Builds the network for `proto` from a prepared topology builder.
+    pub fn build_net(&self, proto: Proto, builder: TopologyBuilder) -> Network {
+        match proto {
+            Proto::Tcp => builder.build(|_, _| Box::new(DropTail)),
+            Proto::Dctcp => {
+                let k = self.ecn_k_bytes;
+                builder.build(move |_, _| Box::new(EcnMark::new(k)) as Box<dyn SwitchPolicy>)
+            }
+            Proto::Tfc => builder.build(TfcSwitchPolicy::factory(self.tfc_switch)),
+        }
+    }
+
+    /// Builds the end-host stack for `proto`.
+    pub fn stack(&self, proto: Proto) -> Box<dyn ProtocolStack> {
+        match proto {
+            Proto::Tcp => Box::new(TcpStack::new(self.tcp)),
+            Proto::Dctcp => Box::new(DctcpStack::new(self.tcp)),
+            Proto::Tfc => Box::new(TfcStack::new(self.tfc_host)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::topology::star;
+    use simnet::units::{Bandwidth, Dur};
+
+    #[test]
+    fn labels() {
+        assert_eq!(Proto::Tcp.label(), "TCP");
+        assert_eq!(Proto::Dctcp.label(), "DCTCP");
+        assert_eq!(Proto::Tfc.label(), "TFC");
+    }
+
+    #[test]
+    fn builds_every_combination() {
+        let cfg = ProtoConfig::default();
+        for proto in Proto::ALL {
+            let (t, _, _) = star(3, Bandwidth::gbps(1), Dur::micros(1));
+            let net = cfg.build_net(proto, t);
+            assert_eq!(net.hosts.len(), 3);
+            let stack = cfg.stack(proto);
+            assert_eq!(stack.name().to_uppercase(), proto.label());
+        }
+    }
+
+    #[test]
+    fn ten_gig_scales_k() {
+        let cfg = ProtoConfig::ten_gig();
+        assert_eq!(cfg.ecn_k_bytes, 65 * 1500);
+    }
+}

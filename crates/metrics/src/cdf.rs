@@ -1,0 +1,239 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF built from collected samples.
+///
+/// Used both for reporting (e.g. the measured `rtt_b` CDF of Fig. 6) and
+/// for workload generation (sampling from a piecewise-linear CDF of flow
+/// sizes, as in the benchmark of §6.1.2).
+///
+/// # Examples
+///
+/// ```
+/// let cdf = tfc_metrics::Cdf::from_samples(&[1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    /// Sorted sample values.
+    values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples. Non-finite samples are dropped.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut values: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        Self { values }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`. Returns 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        idx as f64 / self.values.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by closest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.values.is_empty(), "quantile of empty CDF");
+        let n = self.values.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.values[rank.saturating_sub(1).min(n - 1)]
+    }
+
+    /// Iterates the CDF as `(value, cumulative_fraction)` step points.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+
+    /// Renders the CDF down-sampled to at most `max_points` step points,
+    /// suitable for printing a figure series.
+    pub fn sampled_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let pts: Vec<(f64, f64)> = self.points().collect();
+        if pts.len() <= max_points || max_points == 0 {
+            return pts;
+        }
+        let stride = pts.len().div_ceil(max_points);
+        let mut out: Vec<(f64, f64)> = pts.iter().step_by(stride).copied().collect();
+        if out.last() != pts.last() {
+            out.push(*pts.last().expect("non-empty"));
+        }
+        out
+    }
+}
+
+/// A piecewise-linear CDF specified by `(value, cumulative_probability)`
+/// knots, used to *generate* samples (inverse-transform sampling).
+///
+/// The knot list must be strictly increasing in both coordinates and end
+/// at probability 1.0.
+#[derive(Debug, Clone)]
+pub struct PiecewiseCdf {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseCdf {
+    /// Creates a piecewise CDF from `(value, cum_prob)` knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knots are not monotone, empty, or do not end at 1.0.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "empty knot list");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "values must be strictly increasing");
+            assert!(w[0].1 <= w[1].1, "probabilities must be non-decreasing");
+        }
+        let last = knots.last().expect("non-empty");
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "final cumulative probability must be 1.0, got {}",
+            last.1
+        );
+        Self { knots }
+    }
+
+    /// Inverse CDF: maps a uniform `u` in `[0, 1)` to a value.
+    pub fn inverse(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.knots[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                let f = (u - p0) / (p1 - p0);
+                return v0 + f * (v1 - v0);
+            }
+        }
+        self.knots.last().expect("non-empty").0
+    }
+
+    /// The mean of the distribution, by trapezoidal integration of the
+    /// inverse CDF.
+    pub fn mean(&self) -> f64 {
+        // Integrate value dP across segments; within a segment the value
+        // is linear in probability, so the average is the midpoint.
+        let mut mean = self.knots[0].0 * self.knots[0].1;
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            mean += (v0 + v1) * 0.5 * (p1 - p0);
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fraction_counts_duplicates() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_closest_rank() {
+        let cdf = Cdf::from_samples(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.5), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn points_step_up_to_one() {
+        let cdf = Cdf::from_samples(&[5.0, 1.0]);
+        let pts: Vec<_> = cdf.points().collect();
+        assert_eq!(pts, vec![(1.0, 0.5), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn sampled_points_keeps_last() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cdf = Cdf::from_samples(&vals);
+        let pts = cdf.sampled_points(10);
+        assert!(pts.len() <= 11);
+        assert_eq!(pts.last().copied(), Some((99.0, 1.0)));
+    }
+
+    #[test]
+    fn piecewise_inverse_hits_knots() {
+        let p = PiecewiseCdf::new(vec![(1.0, 0.1), (10.0, 0.5), (100.0, 1.0)]);
+        assert_eq!(p.inverse(0.0), 1.0);
+        assert_eq!(p.inverse(0.1), 1.0);
+        assert_eq!(p.inverse(0.5), 10.0);
+        assert_eq!(p.inverse(1.0), 100.0);
+        let mid = p.inverse(0.3);
+        assert!(mid > 1.0 && mid < 10.0);
+    }
+
+    #[test]
+    fn piecewise_mean_uniform() {
+        // Uniform on [0, 1]: mean 0.5.
+        let p = PiecewiseCdf::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert!((p.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn piecewise_rejects_nonmonotone() {
+        PiecewiseCdf::new(vec![(5.0, 0.5), (1.0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_is_monotone(
+            u1 in 0.0..1.0f64,
+            u2 in 0.0..1.0f64,
+        ) {
+            let p = PiecewiseCdf::new(vec![(1.0, 0.2), (50.0, 0.7), (200.0, 1.0)]);
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            prop_assert!(p.inverse(lo) <= p.inverse(hi) + 1e-9);
+        }
+
+        #[test]
+        fn empirical_fraction_monotone(
+            vals in proptest::collection::vec(-1e6..1e6f64, 1..100),
+            x1 in -1e6..1e6f64,
+            x2 in -1e6..1e6f64,
+        ) {
+            let cdf = Cdf::from_samples(&vals);
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            prop_assert!(cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(hi));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Exponentially weighted moving average.
+
+/// An EWMA with history weight `alpha`.
+///
+/// The update rule is `v = alpha * v + (1 - alpha) * sample`, matching
+/// the paper's token smoothing (Eq. 8, `alpha = 7/8`). Until the first
+/// sample arrives the average is undefined.
+///
+/// # Examples
+///
+/// ```
+/// let mut e = tfc_metrics::Ewma::new(0.5);
+/// e.update(10.0);
+/// assert_eq!(e.get(), Some(10.0));
+/// e.update(20.0);
+/// assert_eq!(e.get(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given history weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha out of range: {alpha}");
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a sample; the first sample initialises the average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(v) => self.alpha * v + (1.0 - self.alpha) * sample,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Resets the average to uninitialised.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = Ewma::new(0.875);
+        assert_eq!(e.get(), None);
+        e.update(7.0);
+        assert_eq!(e.get(), Some(7.0));
+    }
+
+    #[test]
+    fn paper_alpha_smoothing() {
+        // alpha = 7/8 as in Eq. (8).
+        let mut e = Ewma::new(7.0 / 8.0);
+        e.update(8.0);
+        let v = e.update(16.0);
+        assert!((v - (8.0 * 7.0 / 8.0 + 16.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.update(1.0);
+        e.reset();
+        assert_eq!(e.get(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_one_rejected() {
+        Ewma::new(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn stays_within_sample_hull(
+            alpha in 0.0..0.999f64,
+            samples in proptest::collection::vec(-1e6..1e6f64, 1..50),
+        ) {
+            let mut e = Ewma::new(alpha);
+            for &s in &samples {
+                e.update(s);
+            }
+            let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let v = e.get().unwrap();
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Logarithmic histograms for latency-style data.
+
+/// A base-2 logarithmic histogram over positive values.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` of the chosen unit; values below
+/// 1 land in bucket 0. Suited to latency distributions spanning many
+/// orders of magnitude (µs RTTs next to 200 ms RTO events), where an
+/// exact [`crate::Sampler`] would be used for percentiles and this for
+/// compact shape reporting.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = tfc_metrics::Histogram::new();
+/// h.record(3.0); // bucket 1: [2, 4)
+/// h.record(3.5);
+/// h.record(100.0); // bucket 6: [64, 128)
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(1), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value; non-finite or negative values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        let idx = Self::bucket_of(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            v.log2().floor() as usize
+        }
+    }
+
+    /// Lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (1u64 << i.min(62)) as f64
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (0 for untouched buckets).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Iterates non-empty buckets as `(low_bound, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), c))
+    }
+
+    /// Approximate quantile by bucket interpolation (`0.0 ..= 1.0`).
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = Self::bucket_low(i);
+                let hi = if i == 0 { 1.0 } else { lo * 2.0 };
+                let frac = (target - seen) as f64 / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            seen += c;
+        }
+        Some(Self::bucket_low(self.buckets.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(0.9), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 0);
+        assert_eq!(Histogram::bucket_of(2.0), 1);
+        assert_eq!(Histogram::bucket_of(1023.0), 9);
+        assert_eq!(Histogram::bucket_of(1024.0), 10);
+        assert_eq!(Histogram::bucket_low(0), 0.0);
+        assert_eq!(Histogram::bucket_low(10), 1024.0);
+    }
+
+    #[test]
+    fn counts_and_mean() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 2);
+        let nonempty: Vec<_> = h.buckets().collect();
+        assert_eq!(nonempty, vec![(0.0, 1), (2.0, 2)]);
+    }
+
+    #[test]
+    fn ignores_bad_values() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(-1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_brackets_value() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(10.0); // bucket 3: [8, 16)
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((8.0..=16.0).contains(&med), "median {med}");
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone(
+            vals in proptest::collection::vec(0.0..1e6f64, 1..200),
+            q1 in 0.0..1.0f64,
+            q2 in 0.0..1.0f64,
+        ) {
+            let mut h = Histogram::new();
+            for v in vals {
+                h.record(v);
+            }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn value_lands_in_its_bucket(v in 0.0..1e12f64) {
+            let i = Histogram::bucket_of(v);
+            let lo = Histogram::bucket_low(i);
+            prop_assert!(v >= lo);
+            if i > 0 {
+                prop_assert!(v < lo * 2.0);
+            }
+        }
+    }
+}

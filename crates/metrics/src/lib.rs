@@ -1,0 +1,38 @@
+//! Statistics substrate for the TFC reproduction.
+//!
+//! This crate is a leaf dependency shared by the simulator, the protocol
+//! implementations, and the experiment harness. It provides:
+//!
+//! * exact percentile computation over collected samples ([`Sampler`]),
+//! * empirical CDFs ([`Cdf`]),
+//! * time series and fixed-window rate meters ([`TimeSeries`],
+//!   [`RateMeter`]),
+//! * exponentially weighted moving averages ([`Ewma`]),
+//! * summary statistics ([`Summary`]),
+//! * flow-completion-time bookkeeping with the paper's size bins
+//!   ([`FctCollector`], [`SizeBin`]),
+//! * logarithmic histograms for latency shapes ([`Histogram`]).
+//!
+//! All times are `u64` nanoseconds and all derived statistics are `f64`;
+//! this crate knows nothing about the network simulator.
+
+pub mod cdf;
+pub mod ewma;
+pub mod fct;
+pub mod histogram;
+pub mod percentile;
+pub mod rate;
+pub mod summary;
+pub mod timeseries;
+
+pub use cdf::{Cdf, PiecewiseCdf};
+pub use ewma::Ewma;
+pub use fct::{FctCollector, FctSummary, FlowRecord, SizeBin};
+pub use histogram::Histogram;
+pub use percentile::Sampler;
+pub use rate::RateMeter;
+pub use summary::{jain_index, Summary};
+pub use timeseries::TimeSeries;
+
+/// Nanoseconds per second, used across the crate for rate conversions.
+pub const NANOS_PER_SEC: f64 = 1e9;

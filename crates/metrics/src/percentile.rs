@@ -1,0 +1,227 @@
+//! Exact percentile computation over collected samples.
+
+/// Collects `f64` samples and answers exact percentile queries.
+///
+/// Percentiles use linear interpolation between closest ranks, matching
+/// the convention of numpy's `percentile(..., interpolation="linear")`.
+/// Samples are sorted lazily and the sort result is cached until the next
+/// insertion.
+///
+/// # Examples
+///
+/// ```
+/// let mut s = tfc_metrics::Sampler::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.percentile(50.0), Some(2.5));
+/// assert_eq!(s.percentile(100.0), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sampler {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Sampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sampler with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 100.0`), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return Some(self.samples[0]);
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Convenience: the median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Read-only view of the samples in insertion order is not preserved;
+    /// this returns the (possibly sorted) backing storage.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another sampler's samples into this one.
+    pub fn merge(&mut self, other: &Sampler) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+            self.sorted = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let mut s = Sampler::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = Sampler::new();
+        s.record(42.0);
+        assert_eq!(s.percentile(0.0), Some(42.0));
+        assert_eq!(s.percentile(50.0), Some(42.0));
+        assert_eq!(s.percentile(100.0), Some(42.0));
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let mut s = Sampler::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(50.0), Some(25.0));
+        assert_eq!(s.percentile(25.0), Some(17.5));
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = Sampler::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = Sampler::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Sampler::new();
+        a.record(1.0);
+        let mut b = Sampler::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let mut s = Sampler::new();
+        s.record(1.0);
+        s.percentile(101.0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone(
+            mut vals in proptest::collection::vec(-1e9..1e9f64, 1..200),
+            p1 in 0.0..100.0f64,
+            p2 in 0.0..100.0f64,
+        ) {
+            let mut s = Sampler::new();
+            for v in vals.drain(..) {
+                s.record(v);
+            }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = s.percentile(lo).unwrap();
+            let b = s.percentile(hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn percentile_bounded_by_min_max(
+            mut vals in proptest::collection::vec(-1e9..1e9f64, 1..200),
+            p in 0.0..100.0f64,
+        ) {
+            let mut s = Sampler::new();
+            for v in vals.drain(..) {
+                s.record(v);
+            }
+            let v = s.percentile(p).unwrap();
+            prop_assert!(v >= s.min().unwrap() - 1e-9);
+            prop_assert!(v <= s.max().unwrap() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Hosts, switches, and their ports.
+
+use std::collections::BTreeMap;
+
+use crate::endpoint::{ReceiverEndpoint, SenderEndpoint};
+use crate::packet::{FlowId, NodeId};
+use crate::policy::SwitchPolicy;
+use crate::queue::PortQueue;
+use crate::units::{Bandwidth, Dur};
+
+/// The attached link of a port: rate, one-way propagation delay, and the
+/// peer `(node, port)` at the far end.
+#[derive(Debug, Clone, Copy)]
+pub struct PortLink {
+    /// Link rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: Dur,
+    /// Node at the far end.
+    pub peer: NodeId,
+    /// Ingress port index at the far end.
+    pub peer_port: usize,
+}
+
+/// One output port: an attached link plus its FIFO and transmitter state.
+#[derive(Debug)]
+pub struct Port {
+    /// The attached link.
+    pub link: PortLink,
+    /// Output FIFO.
+    pub queue: PortQueue,
+    /// Whether a packet is currently being serialised.
+    pub busy: bool,
+    /// Total wire bytes transmitted out of this port.
+    pub tx_bytes: u64,
+}
+
+impl Port {
+    /// Creates an idle port with a FIFO of `capacity_bytes`.
+    pub fn new(link: PortLink, capacity_bytes: u64) -> Self {
+        Self {
+            link,
+            queue: PortQueue::new(capacity_bytes),
+            busy: false,
+            tx_bytes: 0,
+        }
+    }
+}
+
+/// A switch: ports, a routing table, and a packet-processing policy.
+pub struct Switch {
+    /// This switch's node id.
+    pub id: NodeId,
+    /// Ports in index order.
+    pub ports: Vec<Port>,
+    /// `routes[dst.0]` is the egress port toward host `dst`.
+    pub routes: Vec<Option<usize>>,
+    /// Packet-processing policy (drop-tail, ECN, TFC, ...).
+    pub policy: Box<dyn SwitchPolicy>,
+}
+
+impl Switch {
+    /// Looks up the egress port for a destination host.
+    pub fn route(&self, dst: NodeId) -> Option<usize> {
+        self.routes.get(dst.0 as usize).copied().flatten()
+    }
+
+    /// Total drops across all port FIFOs.
+    pub fn total_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.queue.drops()).sum()
+    }
+}
+
+impl std::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switch")
+            .field("id", &self.id)
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+/// A host: one NIC port plus the transport endpoints living on it.
+pub struct Host {
+    /// This host's node id.
+    pub id: NodeId,
+    /// The NIC.
+    pub nic: Port,
+    /// Sender endpoints of flows originating here.
+    pub senders: BTreeMap<FlowId, Box<dyn SenderEndpoint>>,
+    /// Receiver endpoints of flows terminating here.
+    pub receivers: BTreeMap<FlowId, Box<dyn ReceiverEndpoint>>,
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("senders", &self.senders.len())
+            .field("receivers", &self.receivers.len())
+            .finish()
+    }
+}
+
+/// A node in the simulated network.
+#[derive(Debug)]
+pub enum Node {
+    /// An end host.
+    Host(Host),
+    /// A switch.
+    Switch(Switch),
+}
+
+impl Node {
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        match self {
+            Node::Host(h) => h.id,
+            Node::Switch(s) => s.id,
+        }
+    }
+
+    /// Mutable access to a port by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn port_mut(&mut self, idx: usize) -> &mut Port {
+        match self {
+            Node::Host(h) => {
+                assert_eq!(idx, 0, "hosts have a single NIC port");
+                &mut h.nic
+            }
+            Node::Switch(s) => &mut s.ports[idx],
+        }
+    }
+
+    /// Shared access to a port by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn port(&self, idx: usize) -> &Port {
+        match self {
+            Node::Host(h) => {
+                assert_eq!(idx, 0, "hosts have a single NIC port");
+                &h.nic
+            }
+            Node::Switch(s) => &s.ports[idx],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DropTail;
+    use crate::units::{Bandwidth, Dur};
+
+    fn link(peer: u32) -> PortLink {
+        PortLink {
+            rate: Bandwidth::gbps(1),
+            delay: Dur::micros(1),
+            peer: NodeId(peer),
+            peer_port: 0,
+        }
+    }
+
+    fn switch() -> Switch {
+        Switch {
+            id: NodeId(0),
+            ports: vec![Port::new(link(1), 1_000), Port::new(link(2), 1_000)],
+            routes: vec![None, Some(0), Some(1)],
+            policy: Box::new(DropTail),
+        }
+    }
+
+    #[test]
+    fn route_lookup() {
+        let sw = switch();
+        assert_eq!(sw.route(NodeId(1)), Some(0));
+        assert_eq!(sw.route(NodeId(2)), Some(1));
+        assert_eq!(sw.route(NodeId(0)), None);
+        assert_eq!(sw.route(NodeId(99)), None, "out-of-range dst");
+    }
+
+    #[test]
+    fn total_drops_sums_ports() {
+        let mut sw = switch();
+        let big =
+            crate::packet::Packet::data(crate::packet::FlowId(0), NodeId(9), NodeId(1), 0, 1460);
+        assert!(!sw.ports[0].queue.enqueue(big.clone()), "over capacity");
+        assert!(!sw.ports[1].queue.enqueue(big), "over capacity");
+        assert_eq!(sw.total_drops(), 2);
+    }
+
+    #[test]
+    fn node_port_accessors() {
+        let mut node = Node::Switch(switch());
+        assert_eq!(node.id(), NodeId(0));
+        assert_eq!(node.port(1).link.peer, NodeId(2));
+        node.port_mut(0).busy = true;
+        assert!(node.port(0).busy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_rejects_nonzero_port() {
+        let host = Node::Host(Host {
+            id: NodeId(5),
+            nic: Port::new(link(0), 1_000),
+            senders: Default::default(),
+            receivers: Default::default(),
+        });
+        let _ = host.port(1);
+    }
+}

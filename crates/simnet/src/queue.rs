@@ -1,0 +1,165 @@
+//! Per-port FIFO packet queues with byte accounting.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// A byte-bounded FIFO for one output port.
+///
+/// Drops happen at enqueue time when the packet would push the backlog
+/// over `capacity_bytes` (tail drop). The queue counts drops and tracks
+/// the high-water mark for reporting.
+///
+/// # Examples
+///
+/// ```
+/// use tfc_simnet::packet::{FlowId, NodeId, Packet};
+/// use tfc_simnet::queue::PortQueue;
+///
+/// let mut q = PortQueue::new(3_000);
+/// let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460);
+/// assert!(q.enqueue(pkt.clone()));
+/// assert!(q.enqueue(pkt.clone()));
+/// assert!(!q.enqueue(pkt)); // third full frame exceeds 3000 B
+/// assert_eq!(q.drops(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PortQueue {
+    fifo: VecDeque<Packet>,
+    bytes: u64,
+    capacity_bytes: u64,
+    drops: u64,
+    max_bytes_seen: u64,
+}
+
+impl PortQueue {
+    /// Creates a queue bounded at `capacity_bytes` of wire bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            capacity_bytes,
+            drops: 0,
+            max_bytes_seen: 0,
+        }
+    }
+
+    /// Attempts to append a packet; returns `false` (and counts a drop)
+    /// when capacity would be exceeded.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        let wire = pkt.wire_bytes();
+        if self.bytes + wire > self.capacity_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.bytes += wire;
+        self.max_bytes_seen = self.max_bytes_seen.max(self.bytes);
+        self.fifo.push_back(pkt);
+        true
+    }
+
+    /// Removes and returns the head-of-line packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.wire_bytes();
+        Some(pkt)
+    }
+
+    /// Wire size of the head-of-line packet, if any.
+    pub fn peek_wire_bytes(&self) -> Option<u64> {
+        self.fifo.front().map(Packet::wire_bytes)
+    }
+
+    /// Current backlog in wire bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Total packets dropped at enqueue.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Highest backlog (bytes) ever observed.
+    pub fn max_bytes_seen(&self) -> u64 {
+        self.max_bytes_seen
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+    use proptest::prelude::*;
+
+    fn pkt(payload: u64) -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, payload)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PortQueue::new(1 << 20);
+        for seq in 0..5 {
+            let mut p = pkt(100);
+            p.seq = seq;
+            q.enqueue(p);
+        }
+        for seq in 0..5 {
+            assert_eq!(q.dequeue().unwrap().seq, seq);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = PortQueue::new(1 << 20);
+        q.enqueue(pkt(1460));
+        assert_eq!(q.bytes(), 1500);
+        q.enqueue(pkt(0)); // min frame 64
+        assert_eq!(q.bytes(), 1564);
+        q.dequeue();
+        assert_eq!(q.bytes(), 64);
+        assert_eq!(q.max_bytes_seen(), 1564);
+    }
+
+    #[test]
+    fn tail_drop_counts() {
+        let mut q = PortQueue::new(1500);
+        assert!(q.enqueue(pkt(1460)));
+        assert!(!q.enqueue(pkt(1460)));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_never_exceed_capacity(
+            sizes in proptest::collection::vec(0u64..3000, 1..100),
+            cap in 64u64..100_000,
+        ) {
+            let mut q = PortQueue::new(cap);
+            for s in sizes {
+                q.enqueue(pkt(s));
+                prop_assert!(q.bytes() <= cap);
+            }
+            // Draining returns accounting to zero.
+            while q.dequeue().is_some() {}
+            prop_assert_eq!(q.bytes(), 0);
+        }
+    }
+}

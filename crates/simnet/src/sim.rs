@@ -1,0 +1,1160 @@
+//! The simulation engine.
+//!
+//! [`Simulator`] owns the network, the event queue, the protocol stack,
+//! and the workload application, and runs the discrete-event loop. All
+//! state mutation happens through events, so runs are deterministic for
+//! a given seed and topology.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use metrics::{FctCollector, FlowRecord, RateMeter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{Application, FlowEvent};
+use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
+use crate::event::{Event, EventQueue};
+use crate::node::Node;
+use crate::packet::{FlowId, NodeId, Packet};
+use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
+use crate::topology::Network;
+use crate::trace::{QueueSampler, TraceCenter};
+use crate::units::{Dur, Time};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; every run with the same seed and inputs is identical.
+    pub seed: u64,
+    /// Hard stop time (`None` = run until no events remain).
+    pub end: Option<Time>,
+    /// Per-packet host processing delay, drawn uniformly from the range,
+    /// applied between an endpoint emitting a packet and the NIC queue.
+    /// Models the testbed's random end-host processing (§6.1.2, Fig. 6).
+    pub host_jitter: Option<(Dur, Dur)>,
+    /// Capacity of the packet-event log (0 = disabled). When enabled,
+    /// the last N arrival/drop events are kept for post-run debugging
+    /// via [`SimCore::packet_log`].
+    pub packet_log: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            end: None,
+            host_jitter: None,
+            packet_log: 0,
+        }
+    }
+}
+
+/// What happened to a packet (see [`SimConfig::packet_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEventKind {
+    /// Arrived at a node (hosts and switches).
+    Arrival,
+    /// Tail-dropped at a switch egress FIFO.
+    Drop,
+}
+
+/// One entry of the packet-event log.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketLogEntry {
+    /// When it happened.
+    pub at: Time,
+    /// Where it happened.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: PacketEventKind,
+    /// The flow involved.
+    pub flow: FlowId,
+    /// Sequence number of the packet (data) or 0.
+    pub seq: u64,
+    /// Payload length.
+    pub payload: u64,
+}
+
+/// Book-keeping for one flow.
+#[derive(Debug)]
+pub struct FlowState {
+    /// The flow's static description.
+    pub spec: FlowSpec,
+    /// When the application started the flow.
+    pub started_at: Time,
+    /// When the handshake completed (sender saw SYN-ACK).
+    pub established_at: Option<Time>,
+    /// When the receiver held the complete byte stream.
+    pub receiver_done_at: Option<Time>,
+    /// When the sender finished (all data acknowledged, FIN acked).
+    pub sender_done_at: Option<Time>,
+    /// In-order bytes delivered to the receiving application.
+    pub delivered: u64,
+    /// Retransmission timeouts suffered by the sender.
+    pub timeouts: u64,
+    /// Packets retransmitted by the sender.
+    pub retransmits: u64,
+    /// Optional goodput meter (delivered bytes per window).
+    pub meter: Option<RateMeter>,
+    /// Whether to forward `Delivered` events to the application.
+    pub watch_delivery: bool,
+    /// Whether to record sender RTT samples.
+    pub watch_rtt: bool,
+    /// Sender RTT samples `(time, rtt)` in ns, if watched.
+    pub rtt_samples: Vec<(u64, u64)>,
+}
+
+enum AppCall {
+    Timer(u64),
+    Flow(FlowEvent),
+}
+
+/// Everything except the application: the part of the simulator that
+/// [`SimApi`] exposes to application callbacks.
+pub struct SimCore {
+    now: Time,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    hosts: Vec<NodeId>,
+    switches: Vec<NodeId>,
+    stack: Box<dyn ProtocolStack>,
+    flows: BTreeMap<FlowId, FlowState>,
+    next_flow: u64,
+    rng: StdRng,
+    trace: TraceCenter,
+    samplers: Vec<QueueSampler>,
+    pending_app: VecDeque<AppCall>,
+    cfg: SimConfig,
+    stopped: bool,
+    fct: FctCollector,
+    events_processed: u64,
+    packet_log: VecDeque<PacketLogEntry>,
+}
+
+/// The simulator: a [`SimCore`] plus the workload application.
+pub struct Simulator<A: Application> {
+    core: SimCore,
+    app: A,
+}
+
+/// Handle through which applications drive the simulation.
+pub struct SimApi<'a> {
+    core: &'a mut SimCore,
+}
+
+impl SimCore {
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Starts a flow and returns its id. The handshake begins
+    /// immediately; data transfer follows the protocol's rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`dst` are not distinct hosts.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.src != spec.dst, "flow endpoints must differ");
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let sender = self.stack.new_sender(flow, &spec);
+        let receiver = self.stack.new_receiver(flow, &spec);
+        let (src, dst) = (spec.src, spec.dst);
+        self.flows.insert(
+            flow,
+            FlowState {
+                spec,
+                started_at: self.now,
+                established_at: None,
+                receiver_done_at: None,
+                sender_done_at: None,
+                delivered: 0,
+                timeouts: 0,
+                retransmits: 0,
+                meter: None,
+                watch_delivery: false,
+                watch_rtt: false,
+                rtt_samples: Vec::new(),
+            },
+        );
+        let Node::Host(h) = &mut self.nodes[dst.0 as usize] else {
+            panic!("flow dst {dst:?} is not a host");
+        };
+        h.receivers.insert(flow, receiver);
+        let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
+            panic!("flow src {src:?} is not a host");
+        };
+        h.senders.insert(flow, sender);
+        let mut fx = Effects::new();
+        let now = self.now;
+        let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
+            unreachable!()
+        };
+        h.senders
+            .get_mut(&flow)
+            .expect("just inserted")
+            .open(now, &mut fx);
+        self.apply_host_fx(src, flow, fx);
+        flow
+    }
+
+    /// Adds `bytes` to an open-ended flow's send stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow or its sender does not exist.
+    pub fn push_data(&mut self, flow: FlowId, bytes: u64) {
+        let src = self.flows[&flow].spec.src;
+        let now = self.now;
+        let mut fx = Effects::new();
+        let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
+            unreachable!()
+        };
+        h.senders
+            .get_mut(&flow)
+            .expect("sender exists")
+            .push_data(bytes, now, &mut fx);
+        self.apply_host_fx(src, flow, fx);
+    }
+
+    /// Closes an open-ended flow (FIN once pushed data is delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow or its sender does not exist.
+    pub fn close_flow(&mut self, flow: FlowId) {
+        let src = self.flows[&flow].spec.src;
+        let now = self.now;
+        let mut fx = Effects::new();
+        let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
+            unreachable!()
+        };
+        h.senders
+            .get_mut(&flow)
+            .expect("sender exists")
+            .close(now, &mut fx);
+        self.apply_host_fx(src, flow, fx);
+    }
+
+    /// Arms an application timer firing after `after`.
+    pub fn set_timer(&mut self, after: Dur, token: u64) {
+        self.events
+            .schedule(self.now + after, Event::AppTimer { token });
+    }
+
+    /// Arms an application timer at absolute time `at` (clamped to now).
+    pub fn set_timer_at(&mut self, at: Time, token: u64) {
+        let at = at.max(self.now);
+        self.events.schedule(at, Event::AppTimer { token });
+    }
+
+    /// Attaches a goodput meter (window `window`) to a flow.
+    pub fn meter_flow(&mut self, flow: FlowId, window: Dur) {
+        let state = self.flows.get_mut(&flow).expect("flow exists");
+        state.meter = Some(RateMeter::new(format!("flow{}", flow.0), window.as_nanos()));
+    }
+
+    /// Requests `Delivered` events for a flow.
+    pub fn watch_delivery(&mut self, flow: FlowId) {
+        self.flows
+            .get_mut(&flow)
+            .expect("flow exists")
+            .watch_delivery = true;
+    }
+
+    /// Requests sender RTT sample recording for a flow.
+    pub fn watch_rtt(&mut self, flow: FlowId) {
+        self.flows.get_mut(&flow).expect("flow exists").watch_rtt = true;
+    }
+
+    /// Registers a periodic queue-length sampler.
+    pub fn add_queue_sampler(&mut self, s: QueueSampler) {
+        let at = self.now + s.every;
+        let idx = self.samplers.len();
+        self.samplers.push(s);
+        self.events.schedule(at, Event::Sample { sampler: idx });
+    }
+
+    /// The seeded RNG (shared by workloads for reproducibility).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Stops the simulation after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Immutable flow state.
+    pub fn flow(&self, flow: FlowId) -> &FlowState {
+        &self.flows[&flow]
+    }
+
+    /// Whether the flow id exists.
+    pub fn has_flow(&self, flow: FlowId) -> bool {
+        self.flows.contains_key(&flow)
+    }
+
+    /// Iterates all flows in id order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowState)> {
+        self.flows.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The collected traces.
+    pub fn trace(&self) -> &TraceCenter {
+        &self.trace
+    }
+
+    /// Completed-flow records.
+    pub fn fct(&self) -> &FctCollector {
+        &self.fct
+    }
+
+    /// Host ids in creation order.
+    pub fn host_ids(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Switch ids in creation order.
+    pub fn switch_ids(&self) -> &[NodeId] {
+        &self.switches
+    }
+
+    /// Total enqueue drops across every switch port.
+    pub fn total_drops(&self) -> u64 {
+        self.switches
+            .iter()
+            .map(|&s| match &self.nodes[s.0 as usize] {
+                Node::Switch(sw) => sw.total_drops(),
+                Node::Host(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Per-port statistics of a switch: `(queue_bytes, max_bytes, drops,
+    /// tx_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a switch or `port` does not exist.
+    pub fn port_stats(&self, node: NodeId, port: usize) -> (u64, u64, u64, u64) {
+        let Node::Switch(sw) = &self.nodes[node.0 as usize] else {
+            panic!("{node:?} is not a switch");
+        };
+        let p = &sw.ports[port];
+        (
+            p.queue.bytes(),
+            p.queue.max_bytes_seen(),
+            p.queue.drops(),
+            p.tx_bytes,
+        )
+    }
+
+    /// Egress port of `switch` toward host `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is not a switch.
+    pub fn route_of(&self, switch: NodeId, dst: NodeId) -> Option<usize> {
+        let Node::Switch(sw) = &self.nodes[switch.0 as usize] else {
+            panic!("{switch:?} is not a switch");
+        };
+        sw.route(dst)
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The packet-event log (empty unless [`SimConfig::packet_log`] set).
+    pub fn packet_log(&self) -> &VecDeque<PacketLogEntry> {
+        &self.packet_log
+    }
+
+    fn log_packet(&mut self, node: NodeId, kind: PacketEventKind, pkt: &Packet) {
+        if self.cfg.packet_log == 0 {
+            return;
+        }
+        if self.packet_log.len() == self.cfg.packet_log {
+            self.packet_log.pop_front();
+        }
+        self.packet_log.push_back(PacketLogEntry {
+            at: self.now,
+            node,
+            kind,
+            flow: pkt.flow,
+            seq: pkt.seq,
+            payload: pkt.payload,
+        });
+    }
+
+    /// Current congestion window of a flow's sender, if it exists.
+    pub fn sender_cwnd(&self, flow: FlowId) -> Option<u64> {
+        let src = self.flows.get(&flow)?.spec.src;
+        let Node::Host(h) = &self.nodes[src.0 as usize] else {
+            return None;
+        };
+        h.senders.get(&flow).map(|s| s.cwnd())
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery.
+    // ------------------------------------------------------------------
+
+    fn apply_host_fx(&mut self, host: NodeId, flow: FlowId, fx: Effects) {
+        for mut pkt in fx.packets {
+            pkt.sent_at = self.now;
+            let jitter = match self.cfg.host_jitter {
+                Some((lo, hi)) if hi > lo => Dur(self.rng.gen_range(lo.as_nanos()..=hi.as_nanos())),
+                Some((lo, _)) => lo,
+                None => Dur::ZERO,
+            };
+            self.events
+                .schedule(self.now + jitter, Event::NicEnqueue { node: host, pkt });
+        }
+        for (after, token) in fx.timers {
+            self.events.schedule(
+                self.now + after,
+                Event::HostTimer {
+                    node: host,
+                    flow,
+                    token,
+                },
+            );
+        }
+        for note in fx.notes {
+            self.handle_note(flow, note);
+        }
+    }
+
+    fn handle_note(&mut self, flow: FlowId, note: Note) {
+        let now = self.now;
+        let Some(state) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        match note {
+            Note::Established => {
+                if state.established_at.is_none() {
+                    state.established_at = Some(now);
+                    self.pending_app
+                        .push_back(AppCall::Flow(FlowEvent::Established(flow)));
+                }
+            }
+            Note::Delivered { bytes } => {
+                state.delivered += bytes;
+                if let Some(m) = &mut state.meter {
+                    m.add(now.nanos(), bytes);
+                }
+                if state.watch_delivery {
+                    self.pending_app
+                        .push_back(AppCall::Flow(FlowEvent::Delivered { flow, bytes }));
+                }
+            }
+            Note::ReceiverDone => {
+                if state.receiver_done_at.is_none() {
+                    state.receiver_done_at = Some(now);
+                    let bytes = state.spec.bytes.unwrap_or(state.delivered);
+                    self.fct.record(FlowRecord {
+                        bytes,
+                        start_ns: state.started_at.nanos(),
+                        end_ns: now.nanos(),
+                    });
+                    self.pending_app
+                        .push_back(AppCall::Flow(FlowEvent::Completed(flow)));
+                }
+            }
+            Note::SenderDone => {
+                if state.sender_done_at.is_none() {
+                    state.sender_done_at = Some(now);
+                }
+            }
+            Note::Timeout => state.timeouts += 1,
+            Note::Retransmit => state.retransmits += 1,
+            Note::RttSample { nanos } => {
+                if state.watch_rtt {
+                    state.rtt_samples.push((now.nanos(), nanos));
+                }
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::NicEnqueue { node, pkt } => {
+                Self::enqueue_and_kick(
+                    &mut self.nodes[node.0 as usize],
+                    0,
+                    pkt,
+                    self.now,
+                    &mut self.events,
+                );
+            }
+            Event::Arrival { node, port, pkt } => {
+                self.log_packet(node, PacketEventKind::Arrival, &pkt);
+                match &self.nodes[node.0 as usize] {
+                    Node::Switch(_) => self.switch_ingress(node, port, pkt),
+                    Node::Host(_) => self.host_receive(node, pkt),
+                }
+            }
+            Event::TxDone { node, port } => self.tx_done(node, port),
+            Event::HostTimer { node, flow, token } => {
+                let now = self.now;
+                let mut fx = Effects::new();
+                let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+                    return;
+                };
+                if let Some(s) = h.senders.get_mut(&flow) {
+                    s.on_timer(token, now, &mut fx);
+                } else {
+                    return;
+                }
+                self.apply_host_fx(node, flow, fx);
+            }
+            Event::PolicyTimer { node, token } => {
+                let now = self.now;
+                let mut fx = PolicyFx::new();
+                {
+                    let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                        return;
+                    };
+                    sw.policy.on_timer(token, now, &mut fx);
+                }
+                self.apply_policy_fx(node, fx);
+            }
+            Event::AppTimer { token } => {
+                self.pending_app.push_back(AppCall::Timer(token));
+            }
+            Event::Sample { sampler } => {
+                let s = self.samplers[sampler].clone();
+                let bytes = self.nodes[s.node.0 as usize].port(s.port).queue.bytes();
+                self.trace.record(&s.key, self.now, bytes as f64);
+                let next = self.now + s.every;
+                let past_until = s.until.is_some_and(|u| next > u);
+                let past_end = self.cfg.end.is_some_and(|e| next > e);
+                if !past_until && !past_end {
+                    self.events.schedule(next, Event::Sample { sampler });
+                }
+            }
+        }
+        self.events_processed += 1;
+    }
+
+    /// Enqueues `pkt` on `node`'s `port`, starting the transmitter if it
+    /// is idle. Drops (with accounting in the queue) on overflow.
+    fn enqueue_and_kick(
+        node: &mut Node,
+        port_idx: usize,
+        pkt: Packet,
+        now: Time,
+        events: &mut EventQueue,
+    ) {
+        let id = node.id();
+        let port = node.port_mut(port_idx);
+        let wire = pkt.wire_bytes();
+        if port.queue.enqueue(pkt) && !port.busy {
+            port.busy = true;
+            let ser = port.link.rate.serialize(wire);
+            events.schedule(
+                now + ser,
+                Event::TxDone {
+                    node: id,
+                    port: port_idx,
+                },
+            );
+        }
+    }
+
+    fn tx_done(&mut self, node: NodeId, port_idx: usize) {
+        let now = self.now;
+        let n = &mut self.nodes[node.0 as usize];
+        let port = n.port_mut(port_idx);
+        let pkt = port
+            .queue
+            .dequeue()
+            .expect("TxDone with empty queue: transmitter state corrupt");
+        port.tx_bytes += pkt.wire_bytes();
+        let link = port.link;
+        let next_ser = if port.queue.is_empty() {
+            port.busy = false;
+            None
+        } else {
+            // The head packet determines the next serialisation time.
+            let head_wire = port
+                .queue
+                .peek_wire_bytes()
+                .expect("non-empty queue has a head");
+            Some(link.rate.serialize(head_wire))
+        };
+        if let Some(ser) = next_ser {
+            self.events.schedule(
+                now + ser,
+                Event::TxDone {
+                    node,
+                    port: port_idx,
+                },
+            );
+        }
+        self.events.schedule(
+            now + link.delay,
+            Event::Arrival {
+                node: link.peer,
+                port: link.peer_port,
+                pkt,
+            },
+        );
+    }
+
+    fn switch_ingress(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
+        let now = self.now;
+        let mut fx = PolicyFx::new();
+        let forward = {
+            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            match sw.policy.on_ingress(in_port, &mut pkt, now, &mut fx) {
+                IngressVerdict::Forward => true,
+                IngressVerdict::Consume => false,
+            }
+        };
+        if forward {
+            self.switch_egress(node, pkt, true);
+        }
+        self.apply_policy_fx(node, fx);
+    }
+
+    /// Routes and enqueues a packet at a switch, optionally running the
+    /// egress policy hook (skipped for policy-injected packets).
+    fn switch_egress(&mut self, node: NodeId, mut pkt: Packet, run_hook: bool) {
+        let now = self.now;
+        let mut fx = PolicyFx::new();
+        let enqueue = {
+            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            let Some(out) = sw.route(pkt.dst) else {
+                panic!("switch {node:?} has no route to {:?}", pkt.dst);
+            };
+            let verdict = if run_hook {
+                let qbytes = sw.ports[out].queue.bytes();
+                sw.policy.on_egress(out, &mut pkt, qbytes, now, &mut fx)
+            } else {
+                EgressVerdict::Enqueue
+            };
+            match verdict {
+                EgressVerdict::Enqueue => Some(out),
+                EgressVerdict::Drop => None,
+            }
+        };
+        if let Some(out) = enqueue {
+            let before = self.nodes[node.0 as usize].port(out).queue.drops();
+            let log_copy = (self.cfg.packet_log > 0).then(|| pkt.clone());
+            Self::enqueue_and_kick(
+                &mut self.nodes[node.0 as usize],
+                out,
+                pkt,
+                now,
+                &mut self.events,
+            );
+            if let Some(p) = log_copy {
+                if self.nodes[node.0 as usize].port(out).queue.drops() > before {
+                    self.log_packet(node, PacketEventKind::Drop, &p);
+                }
+            }
+        }
+        self.apply_policy_fx(node, fx);
+    }
+
+    fn apply_policy_fx(&mut self, node: NodeId, fx: PolicyFx) {
+        for (after, token) in fx.timers {
+            self.events
+                .schedule(self.now + after, Event::PolicyTimer { node, token });
+        }
+        for (key, value) in fx.traces {
+            self.trace.record(&key, self.now, value);
+        }
+        for pkt in fx.inject {
+            self.switch_egress(node, pkt, false);
+        }
+    }
+
+    fn host_receive(&mut self, node: NodeId, pkt: Packet) {
+        let now = self.now;
+        let flow = pkt.flow;
+        let mut fx = Effects::new();
+        {
+            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            if let Some(s) = h.senders.get_mut(&flow) {
+                s.on_packet(&pkt, now, &mut fx);
+            } else if let Some(r) = h.receivers.get_mut(&flow) {
+                r.on_packet(&pkt, now, &mut fx);
+            } else {
+                return; // Stale packet of a torn-down flow.
+            }
+        }
+        self.apply_host_fx(node, flow, fx);
+    }
+}
+
+impl<A: Application> Simulator<A> {
+    /// Builds a simulator from a network, protocol stack, application,
+    /// and config.
+    pub fn new(net: Network, stack: Box<dyn ProtocolStack>, app: A, cfg: SimConfig) -> Self {
+        Self {
+            core: SimCore {
+                now: Time::ZERO,
+                events: EventQueue::new(),
+                nodes: net.nodes,
+                hosts: net.hosts,
+                switches: net.switches,
+                stack,
+                flows: BTreeMap::new(),
+                next_flow: 0,
+                rng: StdRng::seed_from_u64(cfg.seed),
+                trace: TraceCenter::new(),
+                samplers: Vec::new(),
+                pending_app: VecDeque::new(),
+                cfg,
+                stopped: false,
+                fct: FctCollector::new(),
+                events_processed: 0,
+                packet_log: VecDeque::new(),
+            },
+            app,
+        }
+    }
+
+    /// Runs to completion: until no events remain, the configured end
+    /// time passes, or the application calls [`SimApi::stop`].
+    pub fn run(&mut self) {
+        self.app.start(&mut SimApi {
+            core: &mut self.core,
+        });
+        self.drain_app_calls();
+        while !self.core.stopped {
+            let Some((t, ev)) = self.core.events.pop() else {
+                break;
+            };
+            if let Some(end) = self.core.cfg.end {
+                if t > end {
+                    self.core.now = end;
+                    break;
+                }
+            }
+            debug_assert!(t >= self.core.now, "event time moved backwards");
+            self.core.now = t;
+            self.core.handle_event(ev);
+            self.drain_app_calls();
+        }
+        // Flush goodput meters so trailing zero-windows are emitted.
+        let now = self.core.now;
+        for state in self.core.flows.values_mut() {
+            if let Some(m) = &mut state.meter {
+                m.flush(now.nanos());
+            }
+        }
+    }
+
+    fn drain_app_calls(&mut self) {
+        while let Some(call) = self.core.pending_app.pop_front() {
+            let mut api = SimApi {
+                core: &mut self.core,
+            };
+            match call {
+                AppCall::Timer(token) => self.app.on_timer(token, &mut api),
+                AppCall::Flow(ev) => self.app.on_flow_event(ev, &mut api),
+            }
+        }
+    }
+
+    /// Read access to the core (traces, flows, stats).
+    pub fn core(&self) -> &SimCore {
+        &self.core
+    }
+
+    /// Mutable access to the core (pre-run flow setup, samplers).
+    pub fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
+    }
+
+    /// The application, e.g. to read workload-level results after `run`.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+}
+
+impl<'a> SimApi<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.core.now()
+    }
+
+    /// Starts a flow; see [`SimCore::start_flow`].
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.core.start_flow(spec)
+    }
+
+    /// Pushes data on an open-ended flow; see [`SimCore::push_data`].
+    pub fn push_data(&mut self, flow: FlowId, bytes: u64) {
+        self.core.push_data(flow, bytes)
+    }
+
+    /// Closes an open-ended flow; see [`SimCore::close_flow`].
+    pub fn close_flow(&mut self, flow: FlowId) {
+        self.core.close_flow(flow)
+    }
+
+    /// Arms an application timer after `after`.
+    pub fn set_timer(&mut self, after: Dur, token: u64) {
+        self.core.set_timer(after, token)
+    }
+
+    /// Arms an application timer at absolute `at`.
+    pub fn set_timer_at(&mut self, at: Time, token: u64) {
+        self.core.set_timer_at(at, token)
+    }
+
+    /// Attaches a goodput meter to a flow.
+    pub fn meter_flow(&mut self, flow: FlowId, window: Dur) {
+        self.core.meter_flow(flow, window)
+    }
+
+    /// Requests `Delivered` events for a flow.
+    pub fn watch_delivery(&mut self, flow: FlowId) {
+        self.core.watch_delivery(flow)
+    }
+
+    /// Requests sender RTT sample recording for a flow.
+    pub fn watch_rtt(&mut self, flow: FlowId) {
+        self.core.watch_rtt(flow)
+    }
+
+    /// Flow state (delivered bytes, timestamps, counters).
+    pub fn flow(&self, flow: FlowId) -> &FlowState {
+        self.core.flow(flow)
+    }
+
+    /// The seeded RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.core.rng()
+    }
+
+    /// Stops the simulation.
+    pub fn stop(&mut self) {
+        self.core.stop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::NullApp;
+    use crate::endpoint::{ReceiverEndpoint, SenderEndpoint};
+    use crate::packet::{Flags, MSS};
+    use crate::topology::TopologyBuilder;
+    use crate::units::Bandwidth;
+
+    /// A minimal "protocol": the sender emits one sized data packet per
+    /// `push_data`; the receiver just counts. No handshake, no ACKs —
+    /// for timing tests of the forwarding pipeline itself.
+    struct BlastSender {
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        sent: u64,
+    }
+
+    impl SenderEndpoint for BlastSender {
+        fn open(&mut self, _now: Time, _fx: &mut Effects) {}
+        fn push_data(&mut self, bytes: u64, _now: Time, fx: &mut Effects) {
+            let pkt = Packet::data(self.flow, self.src, self.dst, self.sent, bytes);
+            self.sent += bytes;
+            fx.send(pkt);
+        }
+        fn close(&mut self, _now: Time, _fx: &mut Effects) {}
+        fn on_packet(&mut self, _pkt: &Packet, _now: Time, _fx: &mut Effects) {}
+        fn on_timer(&mut self, _token: u64, _now: Time, _fx: &mut Effects) {}
+        fn cwnd(&self) -> u64 {
+            u64::MAX
+        }
+        fn acked_bytes(&self) -> u64 {
+            0
+        }
+    }
+
+    struct CountReceiver {
+        got: u64,
+    }
+
+    impl ReceiverEndpoint for CountReceiver {
+        fn on_packet(&mut self, pkt: &Packet, _now: Time, fx: &mut Effects) {
+            self.got += pkt.payload;
+            fx.note(Note::Delivered { bytes: pkt.payload });
+        }
+        fn delivered_bytes(&self) -> u64 {
+            self.got
+        }
+    }
+
+    pub(super) struct BlastStack;
+
+    impl ProtocolStack for BlastStack {
+        fn new_sender(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn SenderEndpoint> {
+            Box::new(BlastSender {
+                flow,
+                src: spec.src,
+                dst: spec.dst,
+                sent: 0,
+            })
+        }
+        fn new_receiver(&self, _flow: FlowId, _spec: &FlowSpec) -> Box<dyn ReceiverEndpoint> {
+            Box::new(CountReceiver { got: 0 })
+        }
+        fn name(&self) -> &'static str {
+            "blast"
+        }
+    }
+
+    fn two_host_sim(rate: Bandwidth, delay: Dur) -> (Simulator<NullApp>, FlowId) {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host();
+        let h2 = t.host();
+        let s = t.switch();
+        t.link(h1, s, rate, delay);
+        t.link(h2, s, rate, delay);
+        let net = t.build_drop_tail();
+        let mut sim = Simulator::new(net, Box::new(BlastStack), NullApp, SimConfig::default());
+        let flow = sim.core_mut().start_flow(FlowSpec {
+            src: h1,
+            dst: h2,
+            bytes: None,
+            weight: 1,
+        });
+        (sim, flow)
+    }
+
+    #[test]
+    fn store_and_forward_latency_is_exact() {
+        // One MSS packet over host -> switch -> host at 1 Gbps with 1 µs
+        // propagation per link: 2 × (12 µs serialisation + 1 µs prop).
+        let (mut sim, flow) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        sim.core_mut().push_data(flow, MSS);
+        sim.run();
+        let st = sim.core().flow(flow);
+        assert_eq!(st.delivered, MSS);
+        assert_eq!(sim.core().now(), Time(2 * (12_000 + 1_000)));
+    }
+
+    #[test]
+    fn back_to_back_packets_pipeline() {
+        // Two packets: the second arrives one serialisation time after
+        // the first (pipelined across the two hops).
+        let (mut sim, flow) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        sim.core_mut().push_data(flow, MSS);
+        sim.core_mut().push_data(flow, MSS);
+        sim.run();
+        assert_eq!(sim.core().flow(flow).delivered, 2 * MSS);
+        assert_eq!(sim.core().now(), Time(2 * (12_000 + 1_000) + 12_000));
+    }
+
+    #[test]
+    fn host_jitter_delays_but_delivers() {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host();
+        let h2 = t.host();
+        let s = t.switch();
+        t.link(h1, s, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(h2, s, Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build_drop_tail();
+        let mut sim = Simulator::new(
+            net,
+            Box::new(BlastStack),
+            NullApp,
+            SimConfig {
+                host_jitter: Some((Dur::micros(5), Dur::micros(9))),
+                ..Default::default()
+            },
+        );
+        let flow = sim.core_mut().start_flow(FlowSpec {
+            src: h1,
+            dst: h2,
+            bytes: None,
+            weight: 1,
+        });
+        sim.core_mut().push_data(flow, MSS);
+        sim.run();
+        let base = 2 * (12_000 + 1_000);
+        let now = sim.core().now().nanos();
+        assert!(now >= base + 5_000 && now <= base + 9_000, "got {now}");
+        assert_eq!(sim.core().flow(flow).delivered, MSS);
+    }
+
+    #[test]
+    fn queue_sampler_records_series() {
+        let (mut sim, flow) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        let sw = sim.core().switch_ids()[0];
+        sim.core_mut()
+            .add_queue_sampler(crate::trace::QueueSampler {
+                node: sw,
+                port: 1,
+                every: Dur::micros(5),
+                key: "q".into(),
+                until: Some(Time(50_000)),
+            });
+        for _ in 0..8 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        sim.run();
+        let ts = sim.core().trace().get("q").expect("series exists");
+        assert!(ts.len() >= 9, "only {} samples", ts.len());
+        assert!(ts.max_value().unwrap() > 0.0, "queue never observed");
+    }
+
+    #[test]
+    fn meter_reports_goodput() {
+        let (mut sim, flow) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        sim.core_mut().meter_flow(flow, Dur::micros(50));
+        for _ in 0..10 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        sim.run();
+        let st = sim.core().flow(flow);
+        let m = st.meter.as_ref().expect("meter attached");
+        // 10 × 1460 B over ~146 µs of delivery: some window should show
+        // close to line-rate goodput.
+        assert!(m.series().max_value().unwrap() > 0.5e9);
+    }
+
+    #[test]
+    fn overflow_drops_are_counted() {
+        // 1 kB of switch buffer cannot hold a burst of full frames.
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host();
+        let h2 = t.host();
+        let s = t.switch();
+        t.link(h1, s, Bandwidth::gbps(10), Dur::micros(1));
+        t.link(h2, s, Bandwidth::gbps(1), Dur::micros(1));
+        t.switch_buffer(1_000);
+        let net = t.build_drop_tail();
+        let mut sim = Simulator::new(net, Box::new(BlastStack), NullApp, SimConfig::default());
+        let flow = sim.core_mut().start_flow(FlowSpec {
+            src: h1,
+            dst: h2,
+            bytes: None,
+            weight: 1,
+        });
+        for _ in 0..10 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        sim.run();
+        assert!(sim.core().total_drops() > 0);
+        assert!(sim.core().flow(flow).delivered < 10 * MSS);
+    }
+
+    #[test]
+    fn end_time_stops_simulation() {
+        let (mut sim, flow) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        sim.core_mut().cfg.end = Some(Time(10_000)); // before delivery
+        sim.core_mut().push_data(flow, MSS);
+        sim.run();
+        assert_eq!(sim.core().flow(flow).delivered, 0);
+        assert_eq!(sim.core().now(), Time(10_000));
+    }
+
+    #[test]
+    fn stale_packets_of_unknown_flows_are_ignored() {
+        // Deliver a packet for a flow id that does not exist: no panic.
+        let (mut sim, _) = two_host_sim(Bandwidth::gbps(1), Dur::micros(1));
+        let hosts = sim.core().host_ids().to_vec();
+        let mut pkt = Packet::data(FlowId(999), hosts[0], hosts[1], 0, 100);
+        pkt.flags.set(Flags::ACK);
+        sim.core_mut().events.schedule(
+            Time(1),
+            Event::Arrival {
+                node: hosts[1],
+                port: 0,
+                pkt,
+            },
+        );
+        sim.run();
+    }
+}
+
+#[cfg(test)]
+mod packet_log_tests {
+    use super::tests::BlastStack;
+    use super::*;
+    use crate::app::NullApp;
+    use crate::packet::MSS;
+    use crate::topology::TopologyBuilder;
+    use crate::units::Bandwidth;
+
+    fn lossy_sim(log: usize) -> (Simulator<NullApp>, FlowId) {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host();
+        let h2 = t.host();
+        let s = t.switch();
+        t.link(h1, s, Bandwidth::gbps(10), Dur::micros(1));
+        t.link(h2, s, Bandwidth::gbps(1), Dur::micros(1));
+        t.switch_buffer(2_000);
+        let net = t.build_drop_tail();
+        let mut sim = Simulator::new(
+            net,
+            Box::new(BlastStack),
+            NullApp,
+            SimConfig {
+                packet_log: log,
+                ..Default::default()
+            },
+        );
+        let flow = sim.core_mut().start_flow(FlowSpec::open_ended(h1, h2));
+        (sim, flow)
+    }
+
+    #[test]
+    fn disabled_log_stays_empty() {
+        let (mut sim, flow) = lossy_sim(0);
+        sim.core_mut().push_data(flow, MSS);
+        sim.run();
+        assert!(sim.core().packet_log().is_empty());
+    }
+
+    #[test]
+    fn log_records_arrivals_and_drops() {
+        let (mut sim, flow) = lossy_sim(1024);
+        for _ in 0..8 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        sim.run();
+        let log = sim.core().packet_log();
+        assert!(log
+            .iter()
+            .any(|e| e.kind == PacketEventKind::Arrival && e.flow == flow));
+        assert!(
+            log.iter().any(|e| e.kind == PacketEventKind::Drop),
+            "burst into a 2 kB buffer must log drops"
+        );
+        // Entries are time-ordered.
+        for w in log.iter().zip(log.iter().skip(1)) {
+            assert!(w.0.at <= w.1.at);
+        }
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let (mut sim, flow) = lossy_sim(4);
+        for _ in 0..20 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        sim.run();
+        assert!(sim.core().packet_log().len() <= 4);
+    }
+}

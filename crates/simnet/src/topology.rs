@@ -1,0 +1,534 @@
+//! Topology construction and static routing.
+//!
+//! A [`TopologyBuilder`] collects hosts, switches, and full-duplex links,
+//! then computes shortest-path routes and produces the node set for a
+//! [`crate::sim::Simulator`]. Builders for every topology used in the
+//! paper's evaluation are provided.
+
+use std::collections::VecDeque;
+
+use crate::node::{Host, Node, Port, PortLink, Switch};
+use crate::packet::NodeId;
+use crate::policy::{DropTail, SwitchPolicy};
+use crate::units::{Bandwidth, Dur};
+
+/// Default switch buffer per port: 256 KB, like the paper's NetFPGA
+/// boards (§6.1.1).
+pub const DEFAULT_SWITCH_BUFFER: u64 = 256 * 1024;
+
+/// Default host NIC queue: large enough that drops concentrate at
+/// switches, as in the testbed.
+pub const DEFAULT_HOST_BUFFER: u64 = 16 * 1024 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Host,
+    Switch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkSpec {
+    a: NodeId,
+    b: NodeId,
+    rate: Bandwidth,
+    delay: Dur,
+}
+
+/// Incrementally describes a network, then builds nodes + routes.
+///
+/// # Examples
+///
+/// ```
+/// use tfc_simnet::topology::TopologyBuilder;
+/// use tfc_simnet::units::{Bandwidth, Dur};
+///
+/// let mut t = TopologyBuilder::new();
+/// let h1 = t.host();
+/// let h2 = t.host();
+/// let s = t.switch();
+/// t.link(h1, s, Bandwidth::gbps(1), Dur::micros(1));
+/// t.link(h2, s, Bandwidth::gbps(1), Dur::micros(1));
+/// let net = t.build_drop_tail();
+/// assert_eq!(net.hosts.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    kinds: Vec<NodeKind>,
+    links: Vec<LinkSpec>,
+    switch_buffer: Option<u64>,
+    host_buffer: Option<u64>,
+}
+
+/// The built network: nodes (indexed by `NodeId`) plus the host list.
+pub struct Network {
+    /// All nodes; `nodes[id.0]` has id `id`.
+    pub nodes: Vec<Node>,
+    /// Ids of the host nodes, in creation order.
+    pub hosts: Vec<NodeId>,
+    /// Ids of the switch nodes, in creation order.
+    pub switches: Vec<NodeId>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host and returns its id.
+    pub fn host(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Host);
+        id
+    }
+
+    /// Adds `n` hosts and returns their ids.
+    pub fn hosts(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.host()).collect()
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn switch(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Switch);
+        id
+    }
+
+    /// Connects `a` and `b` with a full-duplex link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist or `a == b`.
+    pub fn link(&mut self, a: NodeId, b: NodeId, rate: Bandwidth, delay: Dur) {
+        assert!(a != b, "self-links are not allowed");
+        assert!((a.0 as usize) < self.kinds.len(), "unknown node {a:?}");
+        assert!((b.0 as usize) < self.kinds.len(), "unknown node {b:?}");
+        self.links.push(LinkSpec { a, b, rate, delay });
+    }
+
+    /// Overrides the per-port switch buffer (bytes).
+    pub fn switch_buffer(&mut self, bytes: u64) -> &mut Self {
+        self.switch_buffer = Some(bytes);
+        self
+    }
+
+    /// Overrides the host NIC queue size (bytes).
+    pub fn host_buffer(&mut self, bytes: u64) -> &mut Self {
+        self.host_buffer = Some(bytes);
+        self
+    }
+
+    /// Builds the network, creating each switch's policy with
+    /// `make_policy`, which receives the switch id and its port links
+    /// (index order) so per-port engines can size themselves.
+    ///
+    /// Routing is shortest-path (hop count) with deterministic tie-breaks
+    /// (lowest next-hop node id). Paths are unique in every tree topology
+    /// this workspace uses, so forward and reverse paths coincide — a
+    /// property TFC's ACK delay arbiter relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host has more than one link or the graph is
+    /// disconnected.
+    pub fn build(
+        self,
+        mut make_policy: impl FnMut(NodeId, &[PortLink]) -> Box<dyn SwitchPolicy>,
+    ) -> Network {
+        let n = self.kinds.len();
+        let switch_buf = self.switch_buffer.unwrap_or(DEFAULT_SWITCH_BUFFER);
+        let host_buf = self.host_buffer.unwrap_or(DEFAULT_HOST_BUFFER);
+
+        // Per-node port plans: (link rate, delay, peer node).
+        let mut port_plans: Vec<Vec<(Bandwidth, Dur, NodeId)>> = vec![Vec::new(); n];
+        for l in &self.links {
+            port_plans[l.a.0 as usize].push((l.rate, l.delay, l.b));
+            port_plans[l.b.0 as usize].push((l.rate, l.delay, l.a));
+        }
+
+        // Resolve peer port indices: for the k-th link of node a to b, the
+        // matching port at b is the index of the corresponding entry.
+        // Walk links again counting per-pair occurrences.
+        let mut ports: Vec<Vec<PortLink>> = vec![Vec::new(); n];
+        let mut cursor: Vec<usize> = vec![0; n];
+        for l in &self.links {
+            let pa = cursor[l.a.0 as usize];
+            let pb = cursor[l.b.0 as usize];
+            cursor[l.a.0 as usize] += 1;
+            cursor[l.b.0 as usize] += 1;
+            ports[l.a.0 as usize].push(PortLink {
+                rate: l.rate,
+                delay: l.delay,
+                peer: l.b,
+                peer_port: pb,
+            });
+            ports[l.b.0 as usize].push(PortLink {
+                rate: l.rate,
+                delay: l.delay,
+                peer: l.a,
+                peer_port: pa,
+            });
+        }
+
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if *kind == NodeKind::Host {
+                assert_eq!(
+                    ports[i].len(),
+                    1,
+                    "host {i} must have exactly one link, has {}",
+                    ports[i].len()
+                );
+            }
+            assert!(!ports[i].is_empty(), "node {i} is disconnected");
+        }
+
+        // BFS from every host to fill each node's route table.
+        let adjacency: Vec<Vec<(NodeId, usize)>> = ports
+            .iter()
+            .map(|ps| {
+                ps.iter()
+                    .enumerate()
+                    .map(|(idx, p)| (p.peer, idx))
+                    .collect()
+            })
+            .collect();
+        let mut routes: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        for dst in 0..n {
+            if self.kinds[dst] != NodeKind::Host {
+                continue;
+            }
+            // BFS backwards from dst; dist[v] = hops from v to dst.
+            let mut dist: Vec<u32> = vec![u32::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &(peer, _) in &adjacency[v] {
+                    let p = peer.0 as usize;
+                    if dist[p] == u32::MAX {
+                        dist[p] = dist[v] + 1;
+                        q.push_back(p);
+                    }
+                }
+            }
+            for v in 0..n {
+                if v == dst || dist[v] == u32::MAX {
+                    continue;
+                }
+                // Lowest-peer-id tie-break for determinism.
+                let mut best: Option<(NodeId, usize)> = None;
+                for &(peer, port) in &adjacency[v] {
+                    if dist[peer.0 as usize] == dist[v] - 1 && best.is_none_or(|(bp, _)| peer < bp)
+                    {
+                        best = Some((peer, port));
+                    }
+                }
+                routes[v][dst] = Some(best.expect("connected graph").1);
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut hosts = Vec::new();
+        let mut switches = Vec::new();
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match kind {
+                NodeKind::Host => {
+                    hosts.push(id);
+                    let link = ports[i][0];
+                    nodes.push(Node::Host(Host {
+                        id,
+                        nic: Port::new(link, host_buf),
+                        senders: Default::default(),
+                        receivers: Default::default(),
+                    }));
+                }
+                NodeKind::Switch => {
+                    switches.push(id);
+                    let policy = make_policy(id, &ports[i]);
+                    nodes.push(Node::Switch(Switch {
+                        id,
+                        ports: ports[i].iter().map(|&l| Port::new(l, switch_buf)).collect(),
+                        routes: routes[i].clone(),
+                        policy,
+                    }));
+                }
+            }
+        }
+        Network {
+            nodes,
+            hosts,
+            switches,
+        }
+    }
+
+    /// Builds with drop-tail switches everywhere.
+    pub fn build_drop_tail(self) -> Network {
+        self.build(|_, _| Box::new(DropTail))
+    }
+}
+
+/// The paper's testbed (Fig. 4): root switch `NF0`, three leaf switches
+/// `NF1..NF3`, three hosts per leaf (`H1..H9`), all links 1 Gbps.
+///
+/// Returns `(builder, hosts, switches)` where `hosts[i]` is `H(i+1)` and
+/// `switches[j]` is `NFj`. The caller finishes with
+/// [`TopologyBuilder::build`] to choose the switch policy.
+pub fn testbed(link_delay: Dur) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>) {
+    let mut t = TopologyBuilder::new();
+    let hosts = t.hosts(9);
+    let nf0 = t.switch();
+    let leaves: Vec<NodeId> = (0..3).map(|_| t.switch()).collect();
+    let rate = Bandwidth::gbps(1);
+    for (li, &leaf) in leaves.iter().enumerate() {
+        t.link(leaf, nf0, rate, link_delay);
+        for hi in 0..3 {
+            t.link(hosts[li * 3 + hi], leaf, rate, link_delay);
+        }
+    }
+    let mut switches = vec![nf0];
+    switches.extend(leaves);
+    (t, hosts, switches)
+}
+
+/// Fig. 5's multi-bottleneck chain: `h1 - S1 - S2 - {h3, h4}`, `h2 - S2`.
+///
+/// Returns `(builder, [h1, h2, h3, h4], [s1, s2])`.
+pub fn multi_bottleneck(
+    rate: Bandwidth,
+    link_delay: Dur,
+) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>) {
+    let mut t = TopologyBuilder::new();
+    let hosts = t.hosts(4);
+    let s1 = t.switch();
+    let s2 = t.switch();
+    t.link(hosts[0], s1, rate, link_delay);
+    t.link(s1, s2, rate, link_delay);
+    t.link(hosts[1], s2, rate, link_delay);
+    t.link(hosts[2], s2, rate, link_delay);
+    t.link(hosts[3], s2, rate, link_delay);
+    (t, hosts, vec![s1, s2])
+}
+
+/// A single-switch star: `n` hosts on one switch, every link identical.
+/// This is the incast topology (all senders plus the receiver on one
+/// switch; the receiver's downlink is the bottleneck).
+pub fn star(n: usize, rate: Bandwidth, link_delay: Dur) -> (TopologyBuilder, Vec<NodeId>, NodeId) {
+    let mut t = TopologyBuilder::new();
+    let hosts = t.hosts(n);
+    let sw = t.switch();
+    for &h in &hosts {
+        t.link(h, sw, rate, link_delay);
+    }
+    (t, hosts, sw)
+}
+
+/// The large-scale simulation topology of §6.2.2: `n_leaf` leaf switches,
+/// `hosts_per_leaf` servers each on `down` links, one `up` uplink per
+/// leaf to a single top switch. The paper uses 18 × 20 servers, 1 Gbps
+/// down, 10 Gbps up, 20 µs per link.
+pub fn leaf_spine(
+    n_leaf: usize,
+    hosts_per_leaf: usize,
+    down: Bandwidth,
+    up: Bandwidth,
+    link_delay: Dur,
+) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>) {
+    let mut t = TopologyBuilder::new();
+    let hosts = t.hosts(n_leaf * hosts_per_leaf);
+    let top = t.switch();
+    let mut switches = vec![top];
+    for leaf_idx in 0..n_leaf {
+        let leaf = t.switch();
+        switches.push(leaf);
+        t.link(leaf, top, up, link_delay);
+        for h in 0..hosts_per_leaf {
+            t.link(hosts[leaf_idx * hosts_per_leaf + h], leaf, down, link_delay);
+        }
+    }
+    (t, hosts, switches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_symmetric_peer_ports() {
+        let mut t = TopologyBuilder::new();
+        let h1 = t.host();
+        let h2 = t.host();
+        let s = t.switch();
+        t.link(h1, s, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(h2, s, Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build_drop_tail();
+        // Host 1's NIC peers with switch port 0, host 2 with port 1.
+        let Node::Host(ref hh1) = net.nodes[h1.0 as usize] else {
+            panic!()
+        };
+        assert_eq!(hh1.nic.link.peer, s);
+        assert_eq!(hh1.nic.link.peer_port, 0);
+        let Node::Switch(ref sw) = net.nodes[s.0 as usize] else {
+            panic!()
+        };
+        assert_eq!(sw.ports[0].link.peer, h1);
+        assert_eq!(sw.ports[1].link.peer, h2);
+    }
+
+    #[test]
+    fn routes_point_toward_destination() {
+        let (t, hosts, switches) = testbed(Dur::micros(1));
+        let net = t.build_drop_tail();
+        // H1 (leaf NF1) to H6 (leaf NF2) must route via the leaf uplink.
+        let Node::Switch(ref nf1) = net.nodes[switches[1].0 as usize] else {
+            panic!()
+        };
+        let up = nf1.route(hosts[5]).expect("route exists");
+        assert_eq!(nf1.ports[up].link.peer, switches[0]);
+        // Intra-rack route goes straight to the host port.
+        let direct = nf1.route(hosts[1]).expect("route exists");
+        assert_eq!(nf1.ports[direct].link.peer, hosts[1]);
+    }
+
+    #[test]
+    fn testbed_shape() {
+        let (t, hosts, switches) = testbed(Dur::micros(1));
+        let net = t.build(|_, _| Box::new(DropTail));
+        assert_eq!(hosts.len(), 9);
+        assert_eq!(switches.len(), 4);
+        assert_eq!(net.nodes.len(), 13);
+        let Node::Switch(ref nf0) = net.nodes[switches[0].0 as usize] else {
+            panic!()
+        };
+        assert_eq!(nf0.ports.len(), 3);
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let (t, hosts, switches) = leaf_spine(
+            18,
+            20,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(10),
+            Dur::micros(20),
+        );
+        let net = t.build_drop_tail();
+        assert_eq!(hosts.len(), 360);
+        assert_eq!(switches.len(), 19);
+        assert_eq!(net.nodes.len(), 360 + 19);
+    }
+
+    #[test]
+    fn multi_bottleneck_shape() {
+        let (t, hosts, switches) = multi_bottleneck(Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build_drop_tail();
+        assert_eq!(hosts.len(), 4);
+        // h2 routes to h3 through S2 only (2 hops vs h1's 3).
+        let Node::Switch(ref s2) = net.nodes[switches[1].0 as usize] else {
+            panic!()
+        };
+        let p = s2.route(hosts[2]).unwrap();
+        assert_eq!(s2.ports[p].link.peer, hosts[2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_with_two_links_rejected() {
+        let mut t = TopologyBuilder::new();
+        let h = t.host();
+        let s1 = t.switch();
+        let s2 = t.switch();
+        t.link(h, s1, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(h, s2, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(s1, s2, Bandwidth::gbps(1), Dur::micros(1));
+        t.build_drop_tail();
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_graph_rejected() {
+        let mut t = TopologyBuilder::new();
+        let _h = t.host();
+        let _s = t.switch();
+        t.build_drop_tail();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::node::Node;
+    use proptest::prelude::*;
+
+    /// Builds a random tree: `shape[i]` attaches switch i+1 to switch
+    /// `shape[i] % (i+1)`; every switch gets `hosts_per` hosts.
+    fn random_tree(shape: &[u8], hosts_per: usize) -> Network {
+        let mut t = TopologyBuilder::new();
+        let mut switches = vec![t.switch()];
+        let mut hosts = Vec::new();
+        for &parent in shape {
+            let s = t.switch();
+            let p = switches[parent as usize % switches.len()];
+            t.link(s, p, Bandwidth::gbps(1), Dur::micros(1));
+            switches.push(s);
+        }
+        for &s in &switches {
+            for _ in 0..hosts_per {
+                let h = t.host();
+                t.link(h, s, Bandwidth::gbps(1), Dur::micros(1));
+                hosts.push(h);
+            }
+        }
+        t.build_drop_tail()
+    }
+
+    proptest! {
+        #[test]
+        fn routes_reach_every_destination(
+            shape in proptest::collection::vec(0u8..16, 0..12),
+            hosts_per in 1usize..3,
+        ) {
+            let net = random_tree(&shape, hosts_per);
+            // From every node, following next hops toward every host must
+            // terminate at that host without loops.
+            for &dst in &net.hosts {
+                for start in &net.nodes {
+                    let mut at = start.id();
+                    let mut hops = 0;
+                    while at != dst {
+                        hops += 1;
+                        prop_assert!(hops <= net.nodes.len(), "routing loop toward {dst:?}");
+                        at = match &net.nodes[at.0 as usize] {
+                            Node::Switch(sw) => {
+                                let port = sw.route(dst).expect("route exists");
+                                sw.ports[port].link.peer
+                            }
+                            Node::Host(h) => {
+                                prop_assert!(at != dst);
+                                h.nic.link.peer
+                            }
+                        };
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn peer_ports_are_mutual(
+            shape in proptest::collection::vec(0u8..16, 0..12),
+        ) {
+            let net = random_tree(&shape, 1);
+            for node in &net.nodes {
+                let ports: Vec<_> = match node {
+                    Node::Host(h) => vec![&h.nic],
+                    Node::Switch(s) => s.ports.iter().collect(),
+                };
+                for (idx, port) in ports.into_iter().enumerate() {
+                    let peer = &net.nodes[port.link.peer.0 as usize];
+                    let back = peer.port(port.link.peer_port);
+                    prop_assert_eq!(back.link.peer, node.id());
+                    prop_assert_eq!(back.link.peer_port, idx);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Trace collection: named time series and periodic samplers.
+
+use std::collections::BTreeMap;
+
+use metrics::TimeSeries;
+
+use crate::packet::NodeId;
+use crate::units::{Dur, Time};
+
+/// Central registry of named traces produced during a run.
+///
+/// Switch policies and samplers append `(time, value)` points under
+/// string keys such as `"queue.s1.p0"` or `"tfc.s2.p3.ne"`; experiments
+/// read them back after the run.
+#[derive(Debug, Default)]
+pub struct TraceCenter {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl TraceCenter {
+    /// Creates an empty trace center.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point to the named series, creating it on first use.
+    pub fn record(&mut self, key: &str, t: Time, v: f64) {
+        self.series
+            .entry(key.to_owned())
+            .or_insert_with(|| TimeSeries::new(key))
+            .push(t.nanos(), v);
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, key: &str) -> Option<&TimeSeries> {
+        self.series.get(key)
+    }
+
+    /// Iterates all `(name, series)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of named series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series exist.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+/// A periodic queue-length sampler attached to one switch port.
+#[derive(Debug, Clone)]
+pub struct QueueSampler {
+    /// Switch to sample.
+    pub node: NodeId,
+    /// Port index at that switch.
+    pub port: usize,
+    /// Sampling period.
+    pub every: Dur,
+    /// Trace key to record under.
+    pub key: String,
+    /// Stop sampling at this time (`None` = until simulation end).
+    pub until: Option<Time>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_creates_and_appends() {
+        let mut tc = TraceCenter::new();
+        tc.record("a", Time(1), 1.0);
+        tc.record("a", Time(2), 2.0);
+        tc.record("b", Time(1), 9.0);
+        assert_eq!(tc.len(), 2);
+        assert_eq!(tc.get("a").unwrap().len(), 2);
+        assert_eq!(tc.get("b").unwrap().points(), &[(1, 9.0)]);
+        assert!(tc.get("c").is_none());
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut tc = TraceCenter::new();
+        tc.record("z", Time(0), 0.0);
+        tc.record("a", Time(0), 0.0);
+        let names: Vec<&str> = tc.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

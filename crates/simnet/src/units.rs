@@ -1,0 +1,285 @@
+//! Time, duration, and bandwidth newtypes.
+//!
+//! The simulator clock is a `u64` nanosecond counter. Wrapping it (and
+//! durations and link rates) in newtypes keeps unit errors out of the
+//! protocol math, which mixes microsecond RTTs, gigabit rates, and byte
+//! counts.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute simulation time in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A length of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+/// A link rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(pub u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since start.
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Builds a duration from nanoseconds.
+    pub const fn nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Builds a duration from microseconds.
+    pub const fn micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Builds a duration from seconds.
+    pub const fn secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Duration in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales the duration by a float factor, rounding to nearest ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is negative or non-finite.
+    pub fn mul_f64(self, f: f64) -> Dur {
+        assert!(f.is_finite() && f >= 0.0, "invalid scale factor {f}");
+        Dur((self.0 as f64 * f).round() as u64)
+    }
+}
+
+impl Bandwidth {
+    /// Builds a rate from bits per second.
+    pub const fn bps(b: u64) -> Bandwidth {
+        Bandwidth(b)
+    }
+
+    /// Builds a rate from megabits per second.
+    pub const fn mbps(m: u64) -> Bandwidth {
+        Bandwidth(m * 1_000_000)
+    }
+
+    /// Builds a rate from gigabits per second.
+    pub const fn gbps(g: u64) -> Bandwidth {
+        Bandwidth(g * 1_000_000_000)
+    }
+
+    /// Rate in bits per second.
+    pub fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Rate in bytes per second as `f64`.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 as f64 / 8.0
+    }
+
+    /// Rate in bytes per nanosecond as `f64` (handy for token buckets).
+    pub fn bytes_per_nano(self) -> f64 {
+        self.0 as f64 / 8.0 / 1e9
+    }
+
+    /// Time to serialise `bytes` onto this link, rounded up to whole ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn serialize(self, bytes: u64) -> Dur {
+        assert!(self.0 > 0, "zero bandwidth");
+        let bits = bytes as u128 * 8 * 1_000_000_000;
+        Dur(bits.div_ceil(self.0 as u128) as u64)
+    }
+
+    /// Bytes transferable in `d` at this rate (floor).
+    pub fn bytes_in(self, d: Dur) -> u64 {
+        (self.0 as u128 * d.0 as u128 / 8 / 1_000_000_000) as u64
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serialize_full_frame_at_1g() {
+        // 1500 B at 1 Gbps = 12 µs.
+        assert_eq!(Bandwidth::gbps(1).serialize(1500), Dur::micros(12));
+    }
+
+    #[test]
+    fn serialize_rounds_up() {
+        // 1 byte at 3 bps: 8/3 s -> ceil.
+        assert_eq!(Bandwidth::bps(3).serialize(1), Dur(2_666_666_667));
+    }
+
+    #[test]
+    fn bytes_in_roundtrip() {
+        let bw = Bandwidth::gbps(10);
+        assert_eq!(bw.bytes_in(Dur::micros(1)), 1250);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time(100) + Dur(50);
+        assert_eq!(t, Time(150));
+        assert_eq!(t - Time(100), Dur(50));
+        assert_eq!(Time(10).since(Time(50)), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_sub_underflow_panics() {
+        let _ = Time(1) - Time(2);
+    }
+
+    #[test]
+    fn dur_scaling() {
+        assert_eq!(Dur::millis(10).mul_f64(0.5), Dur::millis(5));
+        assert_eq!(Dur::micros(3) * 2, Dur::micros(6));
+        assert_eq!(Dur::micros(9) / 3, Dur::micros(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Dur::micros(160)), "160.0us");
+        assert_eq!(format!("{}", Dur::millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Bandwidth::gbps(10)), "10Gbps");
+    }
+
+    proptest! {
+        #[test]
+        fn serialize_then_bytes_in_never_loses(
+            bytes in 1u64..10_000_000,
+            gbit in 1u64..100,
+        ) {
+            let bw = Bandwidth::gbps(gbit);
+            let d = bw.serialize(bytes);
+            // Rounding up serialisation means at least `bytes` fit in `d`.
+            prop_assert!(bw.bytes_in(d) >= bytes);
+        }
+
+        #[test]
+        fn since_is_inverse_of_add(start in 0u64..u64::MAX / 2, d in 0u64..1_000_000_000_000) {
+            let t0 = Time(start);
+            let t1 = t0 + Dur(d);
+            prop_assert_eq!(t1.since(t0), Dur(d));
+        }
+    }
+}

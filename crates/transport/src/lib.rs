@@ -1,0 +1,26 @@
+//! Baseline transports for the TFC reproduction.
+//!
+//! Provides the reliable-stream machinery shared by every protocol in
+//! the workspace (RTT estimation, receive-side reassembly, the generic
+//! [`recv::StreamReceiver`]) plus the paper's two baselines:
+//!
+//! * **TCP NewReno** ([`tcp::TcpSender`] with default config) — the
+//!   testbed's CentOS 5.5 stack: slow start, congestion avoidance, fast
+//!   retransmit/recovery, 200 ms minimum RTO;
+//! * **DCTCP** ([`tcp::TcpConfig::dctcp`]) — ECT marking plus the
+//!   `alpha`-proportional window reduction, paired with
+//!   [`simnet::policy::EcnMark`] switches (K = 32 KB at 1 Gbps in the
+//!   paper's testbed).
+//!
+//! The TFC protocol itself lives in the `tfc` crate and reuses the
+//! receiver and RTT machinery from here.
+
+pub mod recv;
+pub mod rtt;
+pub mod stack;
+pub mod tcp;
+
+pub use recv::{EchoMode, RecvBuffer, StreamReceiver};
+pub use rtt::RttEstimator;
+pub use stack::{DctcpStack, TcpStack};
+pub use tcp::{TcpConfig, TcpSender};

@@ -1,0 +1,116 @@
+//! Protocol stack factories for the baseline transports.
+
+use simnet::endpoint::{FlowSpec, ProtocolStack, ReceiverEndpoint, SenderEndpoint};
+use simnet::packet::FlowId;
+
+use crate::recv::{EchoMode, StreamReceiver};
+use crate::tcp::{TcpConfig, TcpSender};
+
+/// TCP NewReno for every flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpStack {
+    /// Sender configuration.
+    pub cfg: TcpConfig,
+}
+
+impl TcpStack {
+    /// Creates a stack with the given config.
+    pub fn new(cfg: TcpConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl ProtocolStack for TcpStack {
+    fn new_sender(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn SenderEndpoint> {
+        Box::new(TcpSender::new(
+            flow, spec.src, spec.dst, spec.bytes, self.cfg,
+        ))
+    }
+
+    fn new_receiver(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn ReceiverEndpoint> {
+        Box::new(StreamReceiver::new(
+            flow,
+            spec.dst,
+            spec.src,
+            spec.bytes,
+            EchoMode::None,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// DCTCP for every flow (pair with [`simnet::policy::EcnMark`] switches).
+#[derive(Debug, Clone, Copy)]
+pub struct DctcpStack {
+    /// Sender configuration (must have `ecn` set).
+    pub cfg: TcpConfig,
+}
+
+impl Default for DctcpStack {
+    fn default() -> Self {
+        Self {
+            cfg: TcpConfig::dctcp(),
+        }
+    }
+}
+
+impl DctcpStack {
+    /// Creates a stack with the given config, forcing ECN on.
+    pub fn new(mut cfg: TcpConfig) -> Self {
+        cfg.ecn = true;
+        Self { cfg }
+    }
+}
+
+impl ProtocolStack for DctcpStack {
+    fn new_sender(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn SenderEndpoint> {
+        Box::new(TcpSender::new(
+            flow, spec.src, spec.dst, spec.bytes, self.cfg,
+        ))
+    }
+
+    fn new_receiver(&self, flow: FlowId, spec: &FlowSpec) -> Box<dyn ReceiverEndpoint> {
+        Box::new(StreamReceiver::new(
+            flow,
+            spec.dst,
+            spec.src,
+            spec.bytes,
+            EchoMode::Ecn,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::packet::NodeId;
+
+    #[test]
+    fn stacks_build_endpoints() {
+        let spec = FlowSpec {
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes: Some(1_000),
+            weight: 1,
+        };
+        let tcp = TcpStack::default();
+        assert_eq!(tcp.name(), "tcp");
+        let s = tcp.new_sender(FlowId(0), &spec);
+        assert_eq!(s.acked_bytes(), 0);
+        let r = tcp.new_receiver(FlowId(0), &spec);
+        assert_eq!(r.delivered_bytes(), 0);
+
+        let dctcp = DctcpStack::default();
+        assert_eq!(dctcp.name(), "dctcp");
+        assert!(dctcp.cfg.ecn);
+        let forced = DctcpStack::new(TcpConfig::default());
+        assert!(forced.cfg.ecn);
+    }
+}

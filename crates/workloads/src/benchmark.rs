@@ -1,0 +1,318 @@
+//! The realistic benchmark workload of §6.1.2 / §6.2.2: a mix of query
+//! incasts, short messages, and heavy-tailed background flows, with
+//! Poisson arrivals, modelled on the measured web-search traffic of
+//! DCTCP \[7\] (see [`crate::dist`] for the synthetic distributions).
+
+use std::collections::BTreeSet;
+
+use metrics::{FctCollector, PiecewiseCdf};
+use rand::Rng;
+use simnet::app::{Application, FlowEvent};
+use simnet::endpoint::FlowSpec;
+use simnet::packet::{FlowId, NodeId};
+use simnet::sim::{SimApi, SimCore};
+use simnet::units::{Dur, Time};
+
+use crate::dist::{exp_interarrival, sample_size};
+
+/// Flow class, for FCT reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// A 2 KB query response (part of an incast fan-in).
+    Query,
+    /// A short coordination message (50 KB – 1 MB in \[7\]).
+    Short,
+    /// A background flow with heavy-tailed size.
+    Background,
+}
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Participating hosts.
+    pub hosts: Vec<NodeId>,
+    /// Stop generating new flows after this time.
+    pub horizon: Dur,
+    /// Mean interarrival of query events (each triggers a full fan-in).
+    pub query_interarrival: Dur,
+    /// Bytes per query response (paper: 2 KB).
+    pub query_bytes: u64,
+    /// Responders per query (`None` = every other host, as in §6.2.2).
+    pub query_fanout: Option<usize>,
+    /// Mean interarrival of short messages.
+    pub short_interarrival: Dur,
+    /// Short-message size range (uniform), bytes.
+    pub short_range: (u64, u64),
+    /// Mean interarrival of background flows.
+    pub bg_interarrival: Dur,
+    /// Background flow size distribution.
+    pub bg_sizes: PiecewiseCdf,
+}
+
+impl BenchmarkConfig {
+    /// A testbed-scale default over the given hosts: moderate load on a
+    /// 1 Gbps fabric.
+    pub fn testbed(hosts: Vec<NodeId>) -> Self {
+        Self {
+            hosts,
+            horizon: Dur::millis(500),
+            query_interarrival: Dur::millis(10),
+            query_bytes: 2_000,
+            query_fanout: None,
+            short_interarrival: Dur::millis(20),
+            short_range: (50_000, 1_000_000),
+            bg_interarrival: Dur::millis(8),
+            bg_sizes: crate::dist::background_flow_sizes(),
+        }
+    }
+}
+
+const TOKEN_QUERY: u64 = 0;
+const TOKEN_SHORT: u64 = 1;
+const TOKEN_BG: u64 = 2;
+
+/// The benchmark traffic generator.
+pub struct BenchmarkApp {
+    cfg: BenchmarkConfig,
+    query_flows: BTreeSet<FlowId>,
+    short_flows: BTreeSet<FlowId>,
+    bg_flows: BTreeSet<FlowId>,
+    queries_issued: u64,
+    flows_started: u64,
+}
+
+impl BenchmarkApp {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two hosts.
+    pub fn new(cfg: BenchmarkConfig) -> Self {
+        assert!(cfg.hosts.len() >= 2, "benchmark needs at least two hosts");
+        Self {
+            cfg,
+            query_flows: BTreeSet::new(),
+            short_flows: BTreeSet::new(),
+            bg_flows: BTreeSet::new(),
+            queries_issued: 0,
+            flows_started: 0,
+        }
+    }
+
+    /// Number of query events issued.
+    pub fn queries_issued(&self) -> u64 {
+        self.queries_issued
+    }
+
+    /// Number of flows started in total.
+    pub fn flows_started(&self) -> u64 {
+        self.flows_started
+    }
+
+    /// The class of a flow started by this generator.
+    pub fn class_of(&self, flow: FlowId) -> Option<FlowClass> {
+        if self.query_flows.contains(&flow) {
+            Some(FlowClass::Query)
+        } else if self.short_flows.contains(&flow) {
+            Some(FlowClass::Short)
+        } else if self.bg_flows.contains(&flow) {
+            Some(FlowClass::Background)
+        } else {
+            None
+        }
+    }
+
+    /// Splits the simulator's completed-flow records by class.
+    pub fn fct_by_class(&self, core: &SimCore) -> (FctCollector, FctCollector, FctCollector) {
+        let mut query = FctCollector::new();
+        let mut short = FctCollector::new();
+        let mut bg = FctCollector::new();
+        for (flow, state) in core.flows() {
+            let Some(done) = state.receiver_done_at else {
+                continue;
+            };
+            let rec = metrics::FlowRecord {
+                bytes: state.spec.bytes.unwrap_or(state.delivered),
+                start_ns: state.started_at.nanos(),
+                end_ns: done.nanos(),
+            };
+            match self.class_of(flow) {
+                Some(FlowClass::Query) => query.record(rec),
+                Some(FlowClass::Short) => short.record(rec),
+                Some(FlowClass::Background) => bg.record(rec),
+                None => {}
+            }
+        }
+        (query, short, bg)
+    }
+
+    fn within_horizon(&self, now: Time) -> bool {
+        now.nanos() < self.cfg.horizon.as_nanos()
+    }
+
+    fn issue_query(&mut self, api: &mut SimApi<'_>) {
+        let n = self.cfg.hosts.len();
+        let target_idx = api.rng().gen_range(0..n);
+        let target = self.cfg.hosts[target_idx];
+        let fanout = self.cfg.query_fanout.unwrap_or(n - 1).min(n - 1);
+        // Deterministic responder choice: the `fanout` hosts following
+        // the target in ring order.
+        let bytes = self.cfg.query_bytes;
+        for k in 1..=fanout {
+            let src = self.cfg.hosts[(target_idx + k) % n];
+            let flow = api.start_flow(FlowSpec {
+                src,
+                dst: target,
+                bytes: Some(bytes),
+                weight: 1,
+            });
+            self.query_flows.insert(flow);
+            self.flows_started += 1;
+        }
+        self.queries_issued += 1;
+    }
+
+    fn issue_pair(&mut self, api: &mut SimApi<'_>) -> (NodeId, NodeId) {
+        let n = self.cfg.hosts.len();
+        let a = api.rng().gen_range(0..n);
+        let mut b = api.rng().gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (self.cfg.hosts[a], self.cfg.hosts[b])
+    }
+
+    fn issue_short(&mut self, api: &mut SimApi<'_>) {
+        let (src, dst) = self.issue_pair(api);
+        let (lo, hi) = self.cfg.short_range;
+        let bytes = api.rng().gen_range(lo..=hi);
+        let flow = api.start_flow(FlowSpec {
+            src,
+            dst,
+            bytes: Some(bytes),
+            weight: 1,
+        });
+        self.short_flows.insert(flow);
+        self.flows_started += 1;
+    }
+
+    fn issue_bg(&mut self, api: &mut SimApi<'_>) {
+        let (src, dst) = self.issue_pair(api);
+        let bytes = {
+            let sizes = self.cfg.bg_sizes.clone();
+            sample_size(api.rng(), &sizes)
+        };
+        let flow = api.start_flow(FlowSpec {
+            src,
+            dst,
+            bytes: Some(bytes),
+            weight: 1,
+        });
+        self.bg_flows.insert(flow);
+        self.flows_started += 1;
+    }
+
+    fn schedule_next(&self, token: u64, api: &mut SimApi<'_>) {
+        let mean = match token {
+            TOKEN_QUERY => self.cfg.query_interarrival,
+            TOKEN_SHORT => self.cfg.short_interarrival,
+            _ => self.cfg.bg_interarrival,
+        };
+        let wait = exp_interarrival(api.rng(), mean);
+        api.set_timer(wait, token);
+    }
+}
+
+impl Application for BenchmarkApp {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        for token in [TOKEN_QUERY, TOKEN_SHORT, TOKEN_BG] {
+            self.schedule_next(token, api);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, api: &mut SimApi<'_>) {
+        if !self.within_horizon(api.now()) {
+            return; // Generation horizon passed; let flows drain.
+        }
+        match token {
+            TOKEN_QUERY => self.issue_query(api),
+            TOKEN_SHORT => self.issue_short(api),
+            TOKEN_BG => self.issue_bg(api),
+            _ => unreachable!("unknown benchmark timer"),
+        }
+        self.schedule_next(token, api);
+    }
+
+    fn on_flow_event(&mut self, _ev: FlowEvent, _api: &mut SimApi<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::policy::DropTail;
+    use simnet::sim::{SimConfig, Simulator};
+    use simnet::topology::star;
+    use simnet::units::Bandwidth;
+    use transport::TcpStack;
+
+    fn run() -> Simulator<BenchmarkApp> {
+        let (t, hosts, _) = star(6, Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build(|_, _| Box::new(DropTail));
+        let mut cfg = BenchmarkConfig::testbed(hosts);
+        cfg.horizon = Dur::millis(100);
+        let app = BenchmarkApp::new(cfg);
+        let mut sim = Simulator::new(
+            net,
+            Box::new(TcpStack::default()),
+            app,
+            SimConfig {
+                end: Some(Time(Dur::millis(400).as_nanos())),
+                ..Default::default()
+            },
+        );
+        sim.run();
+        sim
+    }
+
+    #[test]
+    fn generates_all_classes() {
+        let sim = run();
+        let app = sim.app();
+        assert!(app.queries_issued() > 0);
+        assert!(!app.short_flows.is_empty());
+        assert!(!app.bg_flows.is_empty());
+        // Each query fans in from all other hosts.
+        assert_eq!(
+            app.query_flows.len() as u64,
+            app.queries_issued() * 5,
+            "fanout of 5 responders per query on 6 hosts"
+        );
+    }
+
+    #[test]
+    fn fct_split_covers_classes() {
+        let sim = run();
+        let (q, s, b) = sim.app().fct_by_class(sim.core());
+        assert!(!q.is_empty());
+        assert!(!s.is_empty() || !b.is_empty());
+        // Query FCTs are short transfers; their mean must be far below a
+        // second.
+        let qs = q.summary().unwrap();
+        assert!(qs.mean_us < 1_000_000.0);
+    }
+
+    #[test]
+    fn horizon_stops_generation() {
+        let sim = run();
+        // All flows were started within the horizon.
+        for (_, st) in sim.core().flows() {
+            assert!(st.started_at.nanos() <= Dur::millis(100).as_nanos());
+        }
+    }
+
+    #[test]
+    fn class_of_unknown_flow_is_none() {
+        let sim = run();
+        assert_eq!(sim.app().class_of(FlowId(u64::MAX)), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Distributions for workload generation.
+
+use metrics::PiecewiseCdf;
+use rand::Rng;
+use simnet::units::Dur;
+
+/// Samples an exponential interarrival time with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is zero.
+pub fn exp_interarrival(rng: &mut impl Rng, mean: Dur) -> Dur {
+    assert!(mean.as_nanos() > 0, "zero mean interarrival");
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    Dur((-u.ln() * mean.as_nanos() as f64) as u64)
+}
+
+/// A synthetic stand-in for the measured background-flow size
+/// distribution of the DCTCP web-search workload (\[7\], used by the
+/// paper's §6.1.2 benchmark).
+///
+/// We do not have the measured data from the 6000-server cluster; this
+/// piecewise CDF reproduces its documented *shape*: most flows are a few
+/// kilobytes (mice), a heavy tail of multi-megabyte flows (elephants)
+/// carries most bytes, and all six size bins of Fig. 13b are populated.
+/// See DESIGN.md for the substitution rationale.
+pub fn background_flow_sizes() -> PiecewiseCdf {
+    PiecewiseCdf::new(vec![
+        (600.0, 0.10),
+        (1_000.0, 0.15),
+        (2_000.0, 0.25),
+        (5_000.0, 0.40),
+        (10_000.0, 0.52),
+        (30_000.0, 0.63),
+        (100_000.0, 0.72),
+        (300_000.0, 0.80),
+        (1_000_000.0, 0.87),
+        (3_000_000.0, 0.93),
+        (10_000_000.0, 0.97),
+        (30_000_000.0, 1.00),
+    ])
+}
+
+/// Samples a flow size in bytes from a piecewise CDF.
+pub fn sample_size(rng: &mut impl Rng, cdf: &PiecewiseCdf) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    cdf.inverse(u).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = Dur::millis(10);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| exp_interarrival(&mut rng, mean).as_nanos())
+            .sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!(
+            (avg - expect).abs() / expect < 0.05,
+            "sample mean {avg} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn background_sizes_cover_all_bins() {
+        use metrics::SizeBin;
+        let mut rng = StdRng::seed_from_u64(3);
+        let cdf = background_flow_sizes();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50_000 {
+            seen.insert(SizeBin::of(sample_size(&mut rng, &cdf)));
+        }
+        assert_eq!(seen.len(), SizeBin::ALL.len(), "all bins populated");
+    }
+
+    #[test]
+    fn background_sizes_are_heavy_tailed() {
+        let cdf = background_flow_sizes();
+        // Median a few kB, mean dominated by the elephants.
+        assert!(cdf.inverse(0.5) < 20_000.0);
+        assert!(cdf.mean() > 500_000.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let cdf = background_flow_sizes();
+            (0..10)
+                .map(|_| sample_size(&mut rng, &cdf))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,326 @@
+//! The barrier-synchronised incast workload (§6.1.2 "Bursty Fan-in
+//! traffic" and §6.2.1).
+//!
+//! A receiver requests fixed-size data blocks from `n` senders over
+//! persistent connections. All senders respond synchronously; the
+//! receiver cannot request the next round until every block of the
+//! current round arrived — the classic TCP-incast pattern
+//! [Vasudevan et al., SIGCOMM '09].
+
+use std::collections::BTreeMap;
+
+use simnet::app::{Application, FlowEvent};
+use simnet::endpoint::FlowSpec;
+use simnet::packet::{FlowId, NodeId};
+use simnet::sim::SimApi;
+use simnet::units::{Dur, Time};
+
+/// Incast workload parameters.
+#[derive(Debug, Clone)]
+pub struct IncastConfig {
+    /// The sending hosts.
+    pub senders: Vec<NodeId>,
+    /// The requesting/receiving host.
+    pub receiver: NodeId,
+    /// Block size per sender per round, in bytes.
+    pub block_bytes: u64,
+    /// Number of request rounds.
+    pub rounds: u32,
+    /// One-way delay for the request to reach the senders (models the
+    /// request packets without simulating them; the paper notes this
+    /// "wastes a round").
+    pub request_delay: Dur,
+    /// When set, every round opens fresh connections (the classic incast
+    /// setup of \[36\]); otherwise blocks are pushed on persistent
+    /// connections.
+    pub fresh_per_round: bool,
+}
+
+/// Per-round results.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundStats {
+    /// When the requests went out.
+    pub requested_at: Time,
+    /// When the last block arrived.
+    pub completed_at: Time,
+    /// Largest number of RTO timeouts any one flow suffered this round.
+    pub max_timeouts: u64,
+}
+
+/// The incast application.
+///
+/// After `run`, read [`IncastApp::rounds_done`], [`IncastApp::stats`],
+/// and [`IncastApp::goodput_bps`] for the figure series.
+pub struct IncastApp {
+    cfg: IncastConfig,
+    flows: Vec<FlowId>,
+    established: usize,
+    /// Bytes delivered per flow in the current round.
+    delivered: BTreeMap<FlowId, u64>,
+    /// Timeout counter snapshot per flow at round start.
+    timeouts_at_start: BTreeMap<FlowId, u64>,
+    round: u32,
+    stats: Vec<RoundStats>,
+    requested_at: Time,
+    first_request_at: Option<Time>,
+    finished_at: Option<Time>,
+}
+
+const TOKEN_REQUEST: u64 = 1;
+
+impl IncastApp {
+    /// Creates the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no senders are given or the receiver is among them.
+    pub fn new(cfg: IncastConfig) -> Self {
+        assert!(!cfg.senders.is_empty(), "incast needs senders");
+        assert!(
+            !cfg.senders.contains(&cfg.receiver),
+            "receiver cannot be a sender"
+        );
+        Self {
+            cfg,
+            flows: Vec::new(),
+            established: 0,
+            delivered: BTreeMap::new(),
+            timeouts_at_start: BTreeMap::new(),
+            round: 0,
+            stats: Vec::new(),
+            requested_at: Time::ZERO,
+            first_request_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// Completed rounds.
+    pub fn rounds_done(&self) -> u32 {
+        self.round
+    }
+
+    /// Per-round statistics.
+    pub fn stats(&self) -> &[RoundStats] {
+        &self.stats
+    }
+
+    /// When the last round completed (`None` if unfinished).
+    pub fn finished_at(&self) -> Option<Time> {
+        self.finished_at
+    }
+
+    /// Application-level goodput across all rounds, in bits per second:
+    /// total block bytes over the span from the first request to the last
+    /// block.
+    pub fn goodput_bps(&self) -> f64 {
+        let (Some(start), Some(end)) = (self.first_request_at, self.finished_at) else {
+            return 0.0;
+        };
+        let total: u64 =
+            self.cfg.block_bytes * self.cfg.senders.len() as u64 * u64::from(self.round);
+        let span = end.since(start).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        total as f64 * 8.0 / span
+    }
+
+    /// Mean over rounds of the per-round max timeouts (Fig. 15b's
+    /// "maximum timeouts per block").
+    pub fn mean_max_timeouts_per_block(&self) -> f64 {
+        if self.stats.is_empty() {
+            return 0.0;
+        }
+        self.stats
+            .iter()
+            .map(|s| s.max_timeouts as f64)
+            .sum::<f64>()
+            / self.stats.len() as f64
+    }
+
+    fn request_round(&mut self, api: &mut SimApi<'_>) {
+        self.requested_at = api.now();
+        if self.first_request_at.is_none() {
+            self.first_request_at = Some(self.requested_at);
+        }
+        for count in self.delivered.values_mut() {
+            *count = 0;
+        }
+        for &flow in &self.flows {
+            self.timeouts_at_start.insert(flow, api.flow(flow).timeouts);
+        }
+        // The request takes one one-way delay to reach the senders.
+        api.set_timer(self.cfg.request_delay, TOKEN_REQUEST);
+    }
+
+    /// Ends the current round, records stats, and starts the next one.
+    fn finish_round(&mut self, api: &mut SimApi<'_>) {
+        let max_timeouts = self
+            .flows
+            .iter()
+            .map(|&f| api.flow(f).timeouts - self.timeouts_at_start.get(&f).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        self.stats.push(RoundStats {
+            requested_at: self.requested_at,
+            completed_at: api.now(),
+            max_timeouts,
+        });
+        self.round += 1;
+        if self.round < self.cfg.rounds {
+            if self.cfg.fresh_per_round {
+                self.flows.clear();
+                self.delivered.clear();
+                self.timeouts_at_start.clear();
+            }
+            self.request_round(api);
+        } else {
+            self.finished_at = Some(api.now());
+            api.stop();
+        }
+    }
+
+    fn round_complete(&self) -> bool {
+        self.flows.len() == self.cfg.senders.len()
+            && self
+                .flows
+                .iter()
+                .all(|f| self.delivered.get(f).copied().unwrap_or(0) >= self.cfg.block_bytes)
+    }
+}
+
+impl Application for IncastApp {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        if self.cfg.fresh_per_round {
+            // Fresh connections each round: no pre-established pool.
+            self.request_round(api);
+            return;
+        }
+        for &s in &self.cfg.senders.clone() {
+            let flow = api.start_flow(FlowSpec {
+                src: s,
+                dst: self.cfg.receiver,
+                bytes: None,
+                weight: 1,
+            });
+            api.watch_delivery(flow);
+            self.flows.push(flow);
+            self.delivered.insert(flow, 0);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, api: &mut SimApi<'_>) {
+        debug_assert_eq!(token, TOKEN_REQUEST);
+        // The request arrived: every sender responds with a block.
+        if self.cfg.fresh_per_round {
+            for &s in &self.cfg.senders.clone() {
+                let flow = api.start_flow(FlowSpec {
+                    src: s,
+                    dst: self.cfg.receiver,
+                    bytes: Some(self.cfg.block_bytes),
+                    weight: 1,
+                });
+                api.watch_delivery(flow);
+                self.flows.push(flow);
+                self.delivered.insert(flow, 0);
+                self.timeouts_at_start.insert(flow, 0);
+            }
+            return;
+        }
+        for &flow in &self.flows.clone() {
+            api.push_data(flow, self.cfg.block_bytes);
+        }
+    }
+
+    fn on_flow_event(&mut self, ev: FlowEvent, api: &mut SimApi<'_>) {
+        match ev {
+            FlowEvent::Established(_) => {
+                if self.cfg.fresh_per_round {
+                    return;
+                }
+                self.established += 1;
+                if self.established == self.cfg.senders.len() {
+                    self.request_round(api);
+                }
+            }
+            FlowEvent::Delivered { flow, bytes } => {
+                *self.delivered.entry(flow).or_insert(0) += bytes;
+                if self.round_complete() {
+                    self.finish_round(api);
+                }
+            }
+            FlowEvent::Completed(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::policy::DropTail;
+    use simnet::sim::{SimConfig, Simulator};
+    use simnet::topology::star;
+    use simnet::units::Bandwidth;
+    use transport::TcpStack;
+
+    fn run_incast(n: usize, rounds: u32) -> Simulator<IncastApp> {
+        let (t, hosts, _) = star(n + 1, Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build(|_, _| Box::new(DropTail));
+        let app = IncastApp::new(IncastConfig {
+            senders: hosts[..n].to_vec(),
+            receiver: hosts[n],
+            block_bytes: 64 * 1024,
+            rounds,
+            request_delay: Dur::micros(15),
+            fresh_per_round: false,
+        });
+        let mut sim = Simulator::new(
+            net,
+            Box::new(TcpStack::default()),
+            app,
+            SimConfig::default(),
+        );
+        sim.run();
+        sim
+    }
+
+    #[test]
+    fn completes_all_rounds() {
+        let sim = run_incast(4, 3);
+        let app = sim.app();
+        assert_eq!(app.rounds_done(), 3);
+        assert_eq!(app.stats().len(), 3);
+        assert!(app.finished_at().is_some());
+    }
+
+    #[test]
+    fn goodput_positive_and_bounded() {
+        let sim = run_incast(4, 3);
+        let g = sim.app().goodput_bps();
+        assert!(g > 0.0);
+        assert!(g < 1e9, "goodput {g} cannot exceed the link rate");
+    }
+
+    #[test]
+    fn rounds_are_barrier_synchronised() {
+        let sim = run_incast(3, 4);
+        let stats = sim.app().stats();
+        for w in stats.windows(2) {
+            assert!(w[1].requested_at >= w[0].completed_at);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn receiver_as_sender_rejected() {
+        let h = NodeId(0);
+        IncastApp::new(IncastConfig {
+            senders: vec![h],
+            receiver: h,
+            block_bytes: 1,
+            rounds: 1,
+            request_delay: Dur::ZERO,
+            fresh_per_round: false,
+        });
+    }
+}

@@ -1,0 +1,20 @@
+//! Traffic generators for the TFC reproduction.
+//!
+//! * [`incast`] — barrier-synchronised fan-in blocks (Figs. 12 and 15);
+//! * [`onoff`] — intermittently active flows (Fig. 7, Storm-style);
+//! * [`benchmark`] — the query / short-message / background mix of
+//!   §6.1.2 and §6.2.2 (Figs. 13 and 16);
+//! * [`shuffle`] — MapReduce-style all-to-all transfers;
+//! * [`dist`] — Poisson arrivals and the synthetic stand-in for the
+//!   DCTCP web-search flow-size distribution.
+
+pub mod benchmark;
+pub mod dist;
+pub mod incast;
+pub mod onoff;
+pub mod shuffle;
+
+pub use benchmark::{BenchmarkApp, BenchmarkConfig, FlowClass};
+pub use incast::{IncastApp, IncastConfig, RoundStats};
+pub use onoff::{OnOffApp, OnOffFlow};
+pub use shuffle::{ShuffleApp, ShuffleConfig};

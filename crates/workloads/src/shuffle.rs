@@ -1,0 +1,205 @@
+//! All-to-all shuffle: the MapReduce-style transfer the paper's
+//! introduction motivates (batch frameworks as the counterpart to
+//! Storm's streaming). Every mapper sends one sized partition to every
+//! reducer; the job finishes when the last partition lands.
+
+use std::collections::BTreeSet;
+
+use simnet::app::{Application, FlowEvent};
+use simnet::endpoint::FlowSpec;
+use simnet::packet::{FlowId, NodeId};
+use simnet::sim::SimApi;
+use simnet::units::Time;
+
+/// Shuffle parameters.
+#[derive(Debug, Clone)]
+pub struct ShuffleConfig {
+    /// Hosts acting as mappers (sources).
+    pub mappers: Vec<NodeId>,
+    /// Hosts acting as reducers (destinations).
+    pub reducers: Vec<NodeId>,
+    /// Bytes per (mapper, reducer) partition.
+    pub partition_bytes: u64,
+    /// Cap on simultaneously open flows per mapper (real frameworks
+    /// window their fetches; 0 = unlimited).
+    pub per_mapper_parallelism: usize,
+}
+
+/// The shuffle application.
+pub struct ShuffleApp {
+    cfg: ShuffleConfig,
+    /// Remaining (mapper_idx, reducer_idx) pairs not yet started.
+    pending: Vec<(usize, usize)>,
+    /// Open flows per mapper index.
+    open_per_mapper: Vec<usize>,
+    in_flight: BTreeSet<FlowId>,
+    flow_mapper: std::collections::BTreeMap<FlowId, usize>,
+    started: u64,
+    completed: u64,
+    finished_at: Option<Time>,
+}
+
+impl ShuffleApp {
+    /// Creates the shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if mappers or reducers are empty, or any mapper equals any
+    /// reducer (a host may not send to itself; disjoint sets keep the
+    /// model simple).
+    pub fn new(cfg: ShuffleConfig) -> Self {
+        assert!(!cfg.mappers.is_empty() && !cfg.reducers.is_empty());
+        for m in &cfg.mappers {
+            assert!(!cfg.reducers.contains(m), "mapper {m:?} is also a reducer");
+        }
+        let mut pending = Vec::new();
+        // Start order staggers reducers per mapper to avoid all mappers
+        // hammering reducer 0 first.
+        for (mi, _) in cfg.mappers.iter().enumerate() {
+            for k in 0..cfg.reducers.len() {
+                pending.push((mi, (mi + k) % cfg.reducers.len()));
+            }
+        }
+        pending.reverse(); // pop() yields the natural order
+        let n_mappers = cfg.mappers.len();
+        Self {
+            cfg,
+            pending,
+            open_per_mapper: vec![0; n_mappers],
+            in_flight: BTreeSet::new(),
+            flow_mapper: Default::default(),
+            started: 0,
+            completed: 0,
+            finished_at: None,
+        }
+    }
+
+    /// Total partitions in the job.
+    pub fn total_partitions(&self) -> u64 {
+        (self.cfg.mappers.len() * self.cfg.reducers.len()) as u64
+    }
+
+    /// Completed partitions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Job completion time, if the shuffle finished.
+    pub fn finished_at(&self) -> Option<Time> {
+        self.finished_at
+    }
+
+    /// Aggregate goodput of the whole shuffle, bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        match self.finished_at {
+            Some(t) if t > Time::ZERO => {
+                (self.completed * self.cfg.partition_bytes) as f64 * 8.0 / t.as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn launch_available(&mut self, api: &mut SimApi<'_>) {
+        let limit = if self.cfg.per_mapper_parallelism == 0 {
+            usize::MAX
+        } else {
+            self.cfg.per_mapper_parallelism
+        };
+        let mut deferred = Vec::new();
+        while let Some((mi, ri)) = self.pending.pop() {
+            if self.open_per_mapper[mi] >= limit {
+                deferred.push((mi, ri));
+                continue;
+            }
+            let flow = api.start_flow(FlowSpec::sized(
+                self.cfg.mappers[mi],
+                self.cfg.reducers[ri],
+                self.cfg.partition_bytes,
+            ));
+            self.open_per_mapper[mi] += 1;
+            self.in_flight.insert(flow);
+            self.flow_mapper.insert(flow, mi);
+            self.started += 1;
+        }
+        self.pending = deferred;
+        self.pending.reverse();
+    }
+}
+
+impl Application for ShuffleApp {
+    fn start(&mut self, api: &mut SimApi<'_>) {
+        self.launch_available(api);
+    }
+
+    fn on_flow_event(&mut self, ev: FlowEvent, api: &mut SimApi<'_>) {
+        if let FlowEvent::Completed(flow) = ev {
+            if self.in_flight.remove(&flow) {
+                self.completed += 1;
+                if let Some(mi) = self.flow_mapper.remove(&flow) {
+                    self.open_per_mapper[mi] -= 1;
+                }
+                if self.completed == self.total_partitions() {
+                    self.finished_at = Some(api.now());
+                    api.stop();
+                } else {
+                    self.launch_available(api);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::policy::DropTail;
+    use simnet::sim::{SimConfig, Simulator};
+    use simnet::topology::star;
+    use simnet::units::{Bandwidth, Dur};
+
+    fn run(parallelism: usize) -> Simulator<ShuffleApp> {
+        let (t, hosts, _) = star(6, Bandwidth::gbps(1), Dur::micros(1));
+        let net = t.build(|_, _| Box::new(DropTail));
+        let app = ShuffleApp::new(ShuffleConfig {
+            mappers: hosts[..3].to_vec(),
+            reducers: hosts[3..].to_vec(),
+            partition_bytes: 100_000,
+            per_mapper_parallelism: parallelism,
+        });
+        let mut sim = Simulator::new(
+            net,
+            Box::new(transport::TcpStack::default()),
+            app,
+            SimConfig::default(),
+        );
+        sim.run();
+        sim
+    }
+
+    #[test]
+    fn all_partitions_complete() {
+        let sim = run(0);
+        let app = sim.app();
+        assert_eq!(app.completed(), 9);
+        assert!(app.finished_at().is_some());
+        assert!(app.goodput_bps() > 0.0);
+    }
+
+    #[test]
+    fn parallelism_cap_respected_and_completes() {
+        let sim = run(1);
+        assert_eq!(sim.app().completed(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_roles_rejected() {
+        let h = NodeId(0);
+        ShuffleApp::new(ShuffleConfig {
+            mappers: vec![h],
+            reducers: vec![h],
+            partition_bytes: 1,
+            per_mapper_parallelism: 0,
+        });
+    }
+}

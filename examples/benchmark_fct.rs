@@ -1,0 +1,35 @@
+//! Realistic data-center mix (§6.1.2): query incasts, short messages,
+//! and heavy-tailed background flows, comparing flow completion times
+//! across TFC, DCTCP, and TCP on the 9-host testbed.
+//!
+//! Run with `cargo run --release --example benchmark_fct`.
+
+use experiments::benchmark::{run, BenchExpConfig};
+use experiments::Proto;
+
+fn main() {
+    println!("web-search-style mix on the Fig. 4 testbed (2 KB query fan-ins,");
+    println!("50 KB - 1 MB short messages, heavy-tailed background flows)\n");
+    for proto in Proto::ALL {
+        let r = run(&BenchExpConfig::testbed(proto));
+        let q = r.query.expect("query flows completed");
+        println!(
+            "{:<6} query FCT: mean {:>8.1} µs | p99 {:>9.1} µs | p99.99 {:>10.1} µs | drops {}",
+            proto.label(),
+            q.mean_us,
+            q.p99_us,
+            q.p9999_us,
+            r.drops,
+        );
+        let bins = r
+            .background_bins
+            .iter()
+            .map(|(b, us)| format!("{}={:.1}ms", b.label(), us / 1e3))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("       background 99.9th: {bins}");
+    }
+    println!();
+    println!("(paper Fig. 13: TFC's mean and tail query FCT sit far below");
+    println!(" DCTCP's; TCP's 99.99th percentile hits the 200 ms RTO)");
+}

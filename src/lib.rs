@@ -1,0 +1,41 @@
+//! Umbrella crate for the TFC reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! a single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+//!
+//! # Examples
+//!
+//! Run two TFC flows over a shared bottleneck:
+//!
+//! ```
+//! use tfc_repro::simnet::app::NullApp;
+//! use tfc_repro::simnet::endpoint::FlowSpec;
+//! use tfc_repro::simnet::sim::{SimConfig, Simulator};
+//! use tfc_repro::simnet::topology::star;
+//! use tfc_repro::simnet::units::{Bandwidth, Dur};
+//! use tfc_repro::tfc::config::TfcSwitchConfig;
+//! use tfc_repro::tfc::{TfcStack, TfcSwitchPolicy};
+//!
+//! let (topo, hosts, _) = star(3, Bandwidth::gbps(1), Dur::micros(1));
+//! let net = topo.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+//! let mut sim = Simulator::new(
+//!     net,
+//!     Box::new(TfcStack::default()),
+//!     NullApp,
+//!     SimConfig::default(),
+//! );
+//! let flow = sim
+//!     .core_mut()
+//!     .start_flow(FlowSpec::sized(hosts[0], hosts[2], 100_000));
+//! sim.run();
+//! assert_eq!(sim.core().flow(flow).delivered, 100_000);
+//! assert_eq!(sim.core().total_drops(), 0);
+//! ```
+
+pub use experiments;
+pub use metrics;
+pub use simnet;
+pub use tfc;
+pub use transport;
+pub use workloads;

@@ -1,0 +1,132 @@
+//! Cross-crate property tests: whatever the topology, flow matrix, or
+//! protocol, every sized flow delivers its exact byte count, and the
+//! simulation is deterministic.
+
+use proptest::prelude::*;
+use simnet::app::NullApp;
+use simnet::endpoint::{FlowSpec, ProtocolStack};
+use simnet::policy::{DropTail, EcnMark};
+use simnet::sim::{SimConfig, Simulator};
+use simnet::topology::{star, testbed};
+use simnet::units::{Bandwidth, Dur, Time};
+use tfc::config::TfcSwitchConfig;
+use tfc::{TfcStack, TfcSwitchPolicy};
+use transport::{DctcpStack, TcpStack};
+
+#[derive(Debug, Clone, Copy)]
+enum Which {
+    Tcp,
+    Dctcp,
+    Tfc,
+}
+
+fn stack(w: Which) -> Box<dyn ProtocolStack> {
+    match w {
+        Which::Tcp => Box::new(TcpStack::default()),
+        Which::Dctcp => Box::new(DctcpStack::default()),
+        Which::Tfc => Box::new(TfcStack::default()),
+    }
+}
+
+fn run_matrix(w: Which, seed: u64, sizes: &[u64]) -> Vec<(u64, u64)> {
+    // Star with enough hosts that src != dst pairs exist.
+    let n = 4;
+    let (t, hosts, _) = star(n, Bandwidth::gbps(1), Dur::micros(1));
+    let net = match w {
+        Which::Tcp => t.build(|_, _| Box::new(DropTail)),
+        Which::Dctcp => t.build(|_, _| Box::new(EcnMark::new(32_000))),
+        Which::Tfc => t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default())),
+    };
+    let mut sim = Simulator::new(
+        net,
+        stack(w),
+        NullApp,
+        SimConfig {
+            seed,
+            end: Some(Time(Dur::secs(20).as_nanos())),
+            ..Default::default()
+        },
+    );
+    let mut flows = Vec::new();
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let src = hosts[i % n];
+        let dst = hosts[(i + 1 + i % (n - 1)) % n];
+        if src == dst {
+            continue;
+        }
+        flows.push((
+            sim.core_mut().start_flow(FlowSpec {
+                src,
+                dst,
+                bytes: Some(bytes),
+                weight: 1,
+            }),
+            bytes,
+        ));
+    }
+    sim.run();
+    flows
+        .into_iter()
+        .map(|(f, expect)| {
+            let st = sim.core().flow(f);
+            assert!(
+                st.receiver_done_at.is_some(),
+                "flow {f:?} of {expect} B never completed"
+            );
+            (st.delivered, expect)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_flow_delivers_exactly_its_bytes(
+        sizes in proptest::collection::vec(1u64..400_000, 1..6),
+        seed in 0u64..1_000,
+        which in prop_oneof![Just(Which::Tcp), Just(Which::Dctcp), Just(Which::Tfc)],
+    ) {
+        for (delivered, expect) in run_matrix(which, seed, &sizes) {
+            prop_assert_eq!(delivered, expect);
+        }
+    }
+
+    #[test]
+    fn tfc_never_drops_on_clean_fabric(
+        sizes in proptest::collection::vec(1_000u64..200_000, 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let (t, hosts, _) = testbed(Dur::nanos(500));
+        let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+        let mut sim = Simulator::new(
+            net,
+            Box::new(TfcStack::default()),
+            NullApp,
+            SimConfig {
+                seed,
+                end: Some(Time(Dur::secs(5).as_nanos())),
+                ..Default::default()
+            },
+        );
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let src = hosts[i % 8];
+            sim.core_mut().start_flow(FlowSpec { src, dst: hosts[8], bytes: Some(bytes) ,
+                weight: 1,});
+        }
+        sim.run();
+        prop_assert_eq!(sim.core().total_drops(), 0);
+        for (f, st) in sim.core().flows() {
+            prop_assert!(st.receiver_done_at.is_some(), "flow {:?} incomplete", f);
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_identical_outcomes_all_protocols() {
+    for w in [Which::Tcp, Which::Dctcp, Which::Tfc] {
+        let a = run_matrix(w, 42, &[10_000, 250_000, 777]);
+        let b = run_matrix(w, 42, &[10_000, 250_000, 777]);
+        assert_eq!(a, b, "{w:?} not deterministic");
+    }
+}

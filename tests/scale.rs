@@ -1,0 +1,100 @@
+//! Large-topology smoke tests: the full 18 × 20-server leaf-spine of
+//! §6.2.2 with randomized traffic, at a size that stays fast in debug
+//! builds. Catches state-space bugs (routing tables, port indexing,
+//! delimiter churn) that small topologies cannot.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use simnet::app::NullApp;
+use simnet::endpoint::FlowSpec;
+use simnet::sim::{SimConfig, Simulator};
+use simnet::topology::leaf_spine;
+use simnet::units::{Bandwidth, Dur, Time};
+use tfc::config::TfcSwitchConfig;
+use tfc::{TfcStack, TfcSwitchPolicy};
+
+#[test]
+fn full_leaf_spine_random_traffic_completes() {
+    let (t, hosts, _) = leaf_spine(
+        18,
+        20,
+        Bandwidth::gbps(1),
+        Bandwidth::gbps(10),
+        Dur::micros(20),
+    );
+    assert_eq!(hosts.len(), 360);
+    let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+    let mut sim = Simulator::new(
+        net,
+        Box::new(TfcStack::default()),
+        NullApp,
+        SimConfig {
+            end: Some(Time(Dur::millis(400).as_nanos())),
+            ..Default::default()
+        },
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut flows = Vec::new();
+    for _ in 0..150 {
+        let src = *hosts.choose(&mut rng).expect("hosts");
+        let mut dst = *hosts.choose(&mut rng).expect("hosts");
+        while dst == src {
+            dst = *hosts.choose(&mut rng).expect("hosts");
+        }
+        let bytes = rng.gen_range(2_000..200_000);
+        flows.push((
+            sim.core_mut().start_flow(FlowSpec::sized(src, dst, bytes)),
+            bytes,
+        ));
+    }
+    sim.run();
+    let mut done = 0;
+    for (f, bytes) in &flows {
+        let st = sim.core().flow(*f);
+        if st.receiver_done_at.is_some() {
+            assert_eq!(st.delivered, *bytes);
+            done += 1;
+        }
+    }
+    assert!(
+        done >= flows.len() - 2,
+        "only {done}/{} flows completed in 400 ms",
+        flows.len()
+    );
+    assert_eq!(sim.core().total_drops(), 0, "TFC dropped at scale");
+}
+
+#[test]
+fn leaf_spine_is_deterministic_at_scale() {
+    let run = || {
+        let (t, hosts, _) = leaf_spine(
+            6,
+            8,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(10),
+            Dur::micros(20),
+        );
+        let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+        let mut sim = Simulator::new(
+            net,
+            Box::new(TfcStack::default()),
+            NullApp,
+            SimConfig {
+                end: Some(Time(Dur::millis(100).as_nanos())),
+                ..Default::default()
+            },
+        );
+        for i in 0..24usize {
+            let src = hosts[i];
+            let dst = hosts[(i + 11) % hosts.len()];
+            sim.core_mut()
+                .start_flow(FlowSpec::sized(src, dst, 50_000 + i as u64));
+        }
+        sim.run();
+        (
+            sim.core().events_processed(),
+            sim.core().flows().map(|(_, st)| st.delivered).sum::<u64>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
