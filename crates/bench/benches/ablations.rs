@@ -3,7 +3,7 @@
 //! Criterion report shows the cost/benefit structure (and the assertions
 //! inside keep the qualitative claims honest).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tfc_bench::harness::{criterion_group, criterion_main, Criterion};
 use experiments::incast::IncastExpConfig;
 use experiments::workconserving::WorkConservingConfig;
 use experiments::Proto;

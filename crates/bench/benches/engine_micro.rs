@@ -2,7 +2,7 @@
 //! churn, port-queue operations, the TFC token engine's per-packet cost,
 //! and raw simulated-packet throughput of the whole stack.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tfc_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use simnet::app::NullApp;
 use simnet::endpoint::FlowSpec;
 use simnet::event::{Event, EventQueue};

@@ -4,7 +4,7 @@
 //! stays runnable. Figure *values* are produced by the `figures` binary;
 //! these benches track the simulator's performance on each scenario.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tfc_bench::harness::{criterion_group, criterion_main, Criterion};
 use experiments::benchmark::BenchExpConfig;
 use experiments::goodput::GoodputConfig;
 use experiments::incast::IncastExpConfig;

@@ -137,6 +137,7 @@ fn fig06(paper: bool, seed: u64) {
         } else {
             Dur::millis(10)
         },
+        seed,
         ..Default::default()
     };
     let r = experiments::rttb::run(&cfg);
@@ -173,12 +174,12 @@ fn fig06(paper: bool, seed: u64) {
     let series = |cdf: &metrics::Cdf| {
         cdf.sampled_points(64)
             .into_iter()
-            .map(|(v, p)| serde_json::json!([v, p]))
+            .map(|(v, p)| tfc_bench::json!([v, p]))
             .collect::<Vec<_>>()
     };
     dump_json(
         "fig06",
-        &serde_json::json!({
+        &tfc_bench::json!({
             "measured_rttb_cdf_us": series(&r.measured_rttb),
             "reference_rtt_cdf_us": series(&r.reference_rtt),
         }),
@@ -217,7 +218,7 @@ fn fig07(paper: bool, seed: u64) {
     print!("{}", line_chart(&[("measured Ne", &ne_pts)], 64, 10));
     dump_json(
         "fig07",
-        &serde_json::json!({
+        &tfc_bench::json!({
             "measured": r.measured.iter().take(2000).collect::<Vec<_>>(),
             "active_n1": r.active_n1,
             "n2": r.n2,
@@ -228,7 +229,7 @@ fn fig07(paper: bool, seed: u64) {
 
 fn fig08_09_10(paper: bool, seed: u64) {
     header("Figs. 8–10 — queue, goodput/fairness, convergence");
-    let mut out = serde_json::Map::new();
+    let mut out = tfc_bench::json::Map::new();
     let mut queue_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for proto in Proto::ALL {
         let mut cfg = if paper {
@@ -265,10 +266,10 @@ fn fig08_09_10(paper: bool, seed: u64) {
         );
         out.insert(
             proto.label().to_lowercase(),
-            serde_json::json!({
+            tfc_bench::json!({
                 "queue_trace": r.queue.iter().step_by((r.queue.len()/200).max(1)).collect::<Vec<_>>(),
                 "flow_goodput_bps": r.flows.iter().map(|s| {
-                    s.sampled(200).into_iter().map(|(t,v)| serde_json::json!([t, v])).collect::<Vec<_>>()
+                    s.sampled(200).into_iter().map(|(t,v)| tfc_bench::json!([t, v])).collect::<Vec<_>>()
                 }).collect::<Vec<_>>(),
                 "aggregate_bps": r.aggregate_bps,
                 "queue_mean_bytes": q_mean,
@@ -284,7 +285,7 @@ fn fig08_09_10(paper: bool, seed: u64) {
         .collect();
     println!("queue (KB) over time (ms):");
     print!("{}", line_chart(&refs, 64, 12));
-    dump_json("fig08_09_10", &serde_json::Value::Object(out));
+    dump_json("fig08_09_10", &tfc_bench::json::Value::Object(out));
 }
 
 fn fig11(paper: bool, seed: u64) {
@@ -295,6 +296,7 @@ fn fig11(paper: bool, seed: u64) {
         } else {
             Dur::millis(400)
         },
+        seed,
         ..Default::default()
     };
     let with = experiments::workconserving::run(&cfg);
@@ -321,7 +323,7 @@ fn fig11(paper: bool, seed: u64) {
     );
     dump_json(
         "fig11",
-        &serde_json::json!({
+        &tfc_bench::json!({
             "s1_goodput_bps": with.s1_mean_bps,
             "s2_goodput_bps": with.s2_mean_bps,
             "s1_queue_mean_bytes": qmean(&with.s1_queue),
@@ -342,7 +344,7 @@ fn fig12(paper: bool, seed: u64) {
         &[1, 4, 12, 24, 48, 72, 100]
     };
     let rounds = if paper { 100 } else { 5 };
-    let mut out = serde_json::Map::new();
+    let mut out = tfc_bench::json::Map::new();
     println!("senders | TFC goodput / maxQ | DCTCP goodput / maxQ | TCP goodput / maxQ");
     let series: Vec<(Proto, Vec<(usize, experiments::incast::IncastExpResult)>)> = Proto::ALL
         .iter()
@@ -388,9 +390,9 @@ fn fig12(paper: bool, seed: u64) {
     for (proto, pts) in &series {
         out.insert(
             proto.label().to_lowercase(),
-            serde_json::json!(pts
+            tfc_bench::json!(pts
                 .iter()
-                .map(|(n, r)| serde_json::json!({
+                .map(|(n, r)| tfc_bench::json!({
                     "senders": n,
                     "goodput_bps": r.goodput_bps,
                     "avg_queue_bytes": r.avg_queue_bytes,
@@ -401,7 +403,7 @@ fn fig12(paper: bool, seed: u64) {
                 .collect::<Vec<_>>()),
         );
     }
-    dump_json("fig12", &serde_json::Value::Object(out));
+    dump_json("fig12", &tfc_bench::json::Value::Object(out));
 }
 
 fn print_bench(label: &str, r: &BenchResult) {
@@ -431,14 +433,14 @@ fn print_bench(label: &str, r: &BenchResult) {
     );
 }
 
-fn bench_json(r: &BenchResult) -> serde_json::Value {
-    serde_json::json!({
-        "query": r.query.as_ref().map(|q| serde_json::json!({
+fn bench_json(r: &BenchResult) -> tfc_bench::json::Value {
+    tfc_bench::json!({
+        "query": r.query.as_ref().map(|q| tfc_bench::json!({
             "count": q.count, "mean_us": q.mean_us, "p95_us": q.p95_us,
             "p99_us": q.p99_us, "p999_us": q.p999_us, "p9999_us": q.p9999_us,
         })),
         "background_p999_by_bin_us": r.background_bins.iter()
-            .map(|(b, us)| serde_json::json!([b.label(), us])).collect::<Vec<_>>(),
+            .map(|(b, us)| tfc_bench::json!([b.label(), us])).collect::<Vec<_>>(),
         "completed": r.completed,
         "started": r.started,
         "drops": r.drops,
@@ -447,7 +449,7 @@ fn bench_json(r: &BenchResult) -> serde_json::Value {
 
 fn fig13(paper: bool, seed: u64) {
     header("Fig. 13 — testbed benchmark FCT");
-    let mut out = serde_json::Map::new();
+    let mut out = tfc_bench::json::Map::new();
     for proto in Proto::ALL {
         let mut cfg = BenchExpConfig::testbed(proto);
         cfg.seed = seed;
@@ -459,7 +461,7 @@ fn fig13(paper: bool, seed: u64) {
         print_bench(proto.label(), &r);
         out.insert(proto.label().to_lowercase(), bench_json(&r));
     }
-    dump_json("fig13", &serde_json::Value::Object(out));
+    dump_json("fig13", &tfc_bench::json::Value::Object(out));
 }
 
 fn fig14(paper: bool, seed: u64) {
@@ -471,6 +473,7 @@ fn fig14(paper: bool, seed: u64) {
         } else {
             Dur::millis(200)
         },
+        seed,
         ..Default::default()
     };
     let pts = experiments::rho::run(&cfg);
@@ -491,9 +494,9 @@ fn fig14(paper: bool, seed: u64) {
     print!("{}", bar_chart(&refs, 40));
     dump_json(
         "fig14",
-        &serde_json::json!(pts
+        &tfc_bench::json!(pts
             .iter()
-            .map(|p| serde_json::json!({
+            .map(|p| tfc_bench::json!({
                 "rho0": p.rho0,
                 "goodput_bps": p.goodput_bps,
                 "avg_queue_bytes": p.avg_queue_bytes,
@@ -516,16 +519,20 @@ fn fig15(paper: bool, seed: u64) {
     } else {
         &[64 * 1024]
     };
-    let mut out = serde_json::Map::new();
+    let mut out = tfc_bench::json::Map::new();
     for &block in blocks {
         let kb = block / 1024;
         println!("-- block {kb} KB --");
         println!("senders | TFC tput / maxTO | TCP tput / maxTO");
         for &n in counts {
-            let tfc =
-                experiments::incast::run(&IncastExpConfig::large(Proto::Tfc, n, block, horizon));
-            let tcp =
-                experiments::incast::run(&IncastExpConfig::large(Proto::Tcp, n, block, horizon));
+            let tfc = experiments::incast::run(&IncastExpConfig {
+                seed,
+                ..IncastExpConfig::large(Proto::Tfc, n, block, horizon)
+            });
+            let tcp = experiments::incast::run(&IncastExpConfig {
+                seed,
+                ..IncastExpConfig::large(Proto::Tcp, n, block, horizon)
+            });
             println!(
                 "{n:>7} | {} / {:.2} | {} / {:.2}",
                 fmt_bps(tfc.goodput_bps),
@@ -535,10 +542,10 @@ fn fig15(paper: bool, seed: u64) {
             );
             for (label, r) in [("tfc", &tfc), ("tcp", &tcp)] {
                 out.entry(format!("{label}_{kb}kb"))
-                    .or_insert_with(|| serde_json::json!([]))
+                    .or_insert_with(|| tfc_bench::json!([]))
                     .as_array_mut()
                     .expect("array")
-                    .push(serde_json::json!({
+                    .push(tfc_bench::json!({
                         "senders": n,
                         "goodput_bps": r.goodput_bps,
                         "max_timeouts_per_block": r.max_timeouts_per_block,
@@ -547,13 +554,13 @@ fn fig15(paper: bool, seed: u64) {
             }
         }
     }
-    dump_json("fig15", &serde_json::Value::Object(out));
+    dump_json("fig15", &tfc_bench::json::Value::Object(out));
 }
 
 fn fig16(paper: bool, seed: u64) {
     header("Fig. 16 — large-scale benchmark FCT");
     let (leaves, hosts) = if paper { (18, 20) } else { (4, 5) };
-    let mut out = serde_json::Map::new();
+    let mut out = tfc_bench::json::Map::new();
     for proto in Proto::ALL {
         let mut cfg = BenchExpConfig::large(proto, leaves, hosts);
         cfg.seed = seed;
@@ -565,7 +572,7 @@ fn fig16(paper: bool, seed: u64) {
         print_bench(proto.label(), &r);
         out.insert(proto.label().to_lowercase(), bench_json(&r));
     }
-    dump_json("fig16", &serde_json::Value::Object(out));
+    dump_json("fig16", &tfc_bench::json::Value::Object(out));
 }
 
 fn ablations(paper: bool) {
@@ -621,7 +628,7 @@ fn ablations(paper: bool) {
 
     dump_json(
         "ablations",
-        &serde_json::json!({
+        &tfc_bench::json!({
             "delay_arbiter": {
                 "with": {"goodput_bps": a.with.goodput_bps, "drops": a.with.drops,
                          "max_queue_bytes": a.with.max_queue_bytes},
@@ -673,7 +680,7 @@ fn sweeps(paper: bool) {
     let ser = |pts: &[experiments::sweeps::SweepPoint]| {
         pts.iter()
             .map(|p| {
-                serde_json::json!({
+                tfc_bench::json!({
                     "value": p.value,
                     "goodput_bps": p.goodput_bps,
                     "avg_queue_bytes": p.avg_queue_bytes,
@@ -684,7 +691,7 @@ fn sweeps(paper: bool) {
     };
     dump_json(
         "sweeps",
-        &serde_json::json!({"alpha": ser(&apts), "init_rttb_us": ser(&rpts)}),
+        &tfc_bench::json!({"alpha": ser(&apts), "init_rttb_us": ser(&rpts)}),
     );
 }
 

@@ -1,0 +1,333 @@
+//! A minimal JSON value type, writer, and `json!` macro.
+//!
+//! The figure dumps used to go through `serde_json`; that was the only
+//! registry dependency in the workspace's default build graph, so it is
+//! replaced by this ~200-line hand-rolled equivalent. It supports
+//! exactly what the dumps need — objects, arrays, numbers, strings,
+//! bools, null — with deterministic (sorted-key) pretty output.
+//!
+//! # Examples
+//!
+//! ```
+//! use tfc_bench::json;
+//!
+//! let v = json!({"flows": [1, 2], "goodput_bps": 9.4e8, "note": "ok"});
+//! assert!(v.pretty().contains("\"flows\""));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Object storage. `BTreeMap` keeps dump output key-sorted and thus
+/// byte-stable across runs.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integral number.
+    Int(i64),
+    /// Floating number (non-finite values print as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.
+    Object(Map),
+}
+
+impl Value {
+    /// Mutable array access, `None` for non-arrays.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation (newline-terminated).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        // Counters in this workspace are far below 2^63; fall back to
+        // the float form rather than wrapping if one ever is not.
+        i64::try_from(v).map_or(Value::Float(v as f64), Value::Int)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Self {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+impl<T: Into<Value> + Copy> From<&T> for Value {
+    fn from(v: &T) -> Self {
+        (*v).into()
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax, mirroring the subset of
+/// `serde_json::json!` the figure dumps use: object literals (keys are
+/// string literals), array literals, and arbitrary expressions whose
+/// types implement `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::json::Value::Null };
+    ([]) => { $crate::json::Value::Array(::std::vec::Vec::new()) };
+    ([ $($elem:expr),+ $(,)? ]) => {
+        $crate::json::Value::Array(::std::vec![ $($crate::json!($elem)),+ ])
+    };
+    ({}) => { $crate::json::Value::Object($crate::json::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = $crate::json::Map::new();
+        $crate::json_entries!(map, $($body)+);
+        $crate::json::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::json::Value::from($other) };
+}
+
+/// Internal muncher for `json!` object bodies. Nested `{...}` and
+/// `[...]` values must be matched as token trees before the general
+/// expression arm: a JSON object literal is not a valid Rust block
+/// expression, and a mixed-type array literal is not a valid Rust
+/// array expression.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident, $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+        $crate::json_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+    };
+    ($map:ident,) => {};
+    ($map:ident) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(json!(null).pretty(), "null");
+        assert_eq!(json!(3).pretty(), "3");
+        assert_eq!(json!(2.5).pretty(), "2.5");
+        assert_eq!(json!(true).pretty(), "true");
+        assert_eq!(json!("hi").pretty(), "\"hi\"");
+        assert_eq!(json!(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn object_and_array_shapes() {
+        let v = json!({
+            "pair": [1, 2.5],
+            "nested": {"inner": "x"},
+            "none": Option::<u64>::None,
+            "some": Some(7u64),
+        });
+        let s = v.pretty();
+        assert!(s.contains("\"pair\": [\n    1,\n    2.5\n  ]"));
+        assert!(s.contains("\"inner\": \"x\""));
+        assert!(s.contains("\"none\": null"));
+        assert!(s.contains("\"some\": 7"));
+    }
+
+    #[test]
+    fn from_tuple_vec_and_refs() {
+        let pts: Vec<(u64, f64)> = vec![(1, 0.5), (2, 1.0)];
+        let v: Value = pts.iter().collect::<Vec<_>>().into();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Array(vec![Value::Int(1), Value::Float(0.5)]),
+                Value::Array(vec![Value::Int(2), Value::Float(1.0)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn keys_are_sorted_and_escaped() {
+        let mut m = Map::new();
+        m.insert("b\"x".into(), json!(1));
+        m.insert("a".into(), json!(2));
+        let s = Value::Object(m).pretty();
+        let a = s.find("\"a\"").unwrap();
+        let b = s.find("\"b\\\"x\"").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn as_array_mut_pushes() {
+        let mut v = json!([]);
+        v.as_array_mut().unwrap().push(json!(1));
+        assert_eq!(v, Value::Array(vec![Value::Int(1)]));
+        assert_eq!(json!(3).as_array_mut(), None);
+    }
+
+    #[test]
+    fn big_u64_degrades_to_float() {
+        let v: Value = u64::MAX.into();
+        assert!(matches!(v, Value::Float(_)));
+    }
+}

@@ -5,6 +5,8 @@
 //! formatting and JSON-dumping helpers.
 
 pub mod chart;
+pub mod harness;
+pub mod json;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,15 +46,12 @@ pub fn results_dir() -> PathBuf {
 /// # Panics
 ///
 /// Panics if the directory cannot be created or the file not written.
-pub fn dump_json(name: &str, value: &serde_json::Value) {
+pub fn dump_json(name: &str, value: &json::Value) {
     let dir = results_dir();
     fs::create_dir_all(&dir).expect("create results dir");
     let path: PathBuf = dir.join(format!("{name}.json"));
-    fs::write(
-        &path,
-        serde_json::to_string_pretty(value).expect("serialise"),
-    )
-    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(&path, value.pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("  [wrote {}]", path.display());
 }
 
@@ -85,7 +84,7 @@ mod tests {
     fn dump_json_writes_file() {
         let dir = std::env::temp_dir().join("tfc_bench_test");
         std::env::set_var("TFC_RESULTS_DIR", &dir);
-        dump_json("unit_test", &serde_json::json!({"x": 1}));
+        dump_json("unit_test", &crate::json!({"x": 1}));
         assert!(exists(&dir.join("unit_test.json")));
         std::fs::remove_dir_all(&dir).ok();
         std::env::remove_var("TFC_RESULTS_DIR");

@@ -154,7 +154,8 @@ impl PiecewiseCdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_f64};
+    use rng::Rng;
 
     #[test]
     fn fraction_counts_duplicates() {
@@ -214,26 +215,31 @@ mod tests {
         PiecewiseCdf::new(vec![(5.0, 0.5), (1.0, 1.0)]);
     }
 
-    proptest! {
-        #[test]
-        fn inverse_is_monotone(
-            u1 in 0.0..1.0f64,
-            u2 in 0.0..1.0f64,
-        ) {
+    #[test]
+    fn inverse_is_monotone() {
+        cases(256, |_case, rng| {
+            let u1: f64 = rng.gen_range(0.0..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
             let p = PiecewiseCdf::new(vec![(1.0, 0.2), (50.0, 0.7), (200.0, 1.0)]);
             let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-            prop_assert!(p.inverse(lo) <= p.inverse(hi) + 1e-9);
-        }
+            let a = p.inverse(lo);
+            let b = p.inverse(hi);
+            assert!(a <= b + 1e-9, "inverse({lo})={a} > inverse({hi})={b}");
+        });
+    }
 
-        #[test]
-        fn empirical_fraction_monotone(
-            vals in proptest::collection::vec(-1e6..1e6f64, 1..100),
-            x1 in -1e6..1e6f64,
-            x2 in -1e6..1e6f64,
-        ) {
+    #[test]
+    fn empirical_fraction_monotone() {
+        cases(128, |_case, rng| {
+            let vals = vec_f64(rng, 1..100, -1e6..1e6);
+            let x1: f64 = rng.gen_range(-1e6..1e6);
+            let x2: f64 = rng.gen_range(-1e6..1e6);
             let cdf = Cdf::from_samples(&vals);
             let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-            prop_assert!(cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(hi));
-        }
+            assert!(
+                cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(hi),
+                "fraction not monotone between {lo} and {hi} over {vals:?}"
+            );
+        });
     }
 }

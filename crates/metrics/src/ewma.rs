@@ -56,7 +56,8 @@ impl Ewma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_f64};
+    use rng::Rng;
 
     #[test]
     fn first_sample_initialises() {
@@ -89,12 +90,11 @@ mod tests {
         Ewma::new(1.0);
     }
 
-    proptest! {
-        #[test]
-        fn stays_within_sample_hull(
-            alpha in 0.0..0.999f64,
-            samples in proptest::collection::vec(-1e6..1e6f64, 1..50),
-        ) {
+    #[test]
+    fn stays_within_sample_hull() {
+        cases(128, |_case, rng| {
+            let alpha: f64 = rng.gen_range(0.0..0.999);
+            let samples = vec_f64(rng, 1..50, -1e6..1e6);
             let mut e = Ewma::new(alpha);
             for &s in &samples {
                 e.update(s);
@@ -102,7 +102,10 @@ mod tests {
             let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let v = e.get().unwrap();
-            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
-        }
+            assert!(
+                v >= lo - 1e-6 && v <= hi + 1e-6,
+                "ewma {v} outside [{lo}, {hi}] (alpha {alpha}, {samples:?})"
+            );
+        });
     }
 }

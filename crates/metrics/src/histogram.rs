@@ -128,7 +128,8 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_f64};
+    use rng::Rng;
 
     #[test]
     fn bucket_edges() {
@@ -175,29 +176,33 @@ mod tests {
         assert!((8.0..=16.0).contains(&med), "median {med}");
     }
 
-    proptest! {
-        #[test]
-        fn quantile_is_monotone(
-            vals in proptest::collection::vec(0.0..1e6f64, 1..200),
-            q1 in 0.0..1.0f64,
-            q2 in 0.0..1.0f64,
-        ) {
+    #[test]
+    fn quantile_is_monotone() {
+        cases(128, |_case, rng| {
+            let vals = vec_f64(rng, 1..200, 0.0..1e6);
+            let q1: f64 = rng.gen_range(0.0..1.0);
+            let q2: f64 = rng.gen_range(0.0..1.0);
             let mut h = Histogram::new();
-            for v in vals {
+            for &v in &vals {
                 h.record(v);
             }
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap() + 1e-9);
-        }
+            let a = h.quantile(lo).unwrap();
+            let b = h.quantile(hi).unwrap();
+            assert!(a <= b + 1e-9, "q{lo}={a} > q{hi}={b} over {vals:?}");
+        });
+    }
 
-        #[test]
-        fn value_lands_in_its_bucket(v in 0.0..1e12f64) {
+    #[test]
+    fn value_lands_in_its_bucket() {
+        cases(512, |_case, rng| {
+            let v: f64 = rng.gen_range(0.0..1e12);
             let i = Histogram::bucket_of(v);
             let lo = Histogram::bucket_low(i);
-            prop_assert!(v >= lo);
+            assert!(v >= lo, "{v} below bucket {i} low {lo}");
             if i > 0 {
-                prop_assert!(v < lo * 2.0);
+                assert!(v < lo * 2.0, "{v} above bucket {i} high {}", lo * 2.0);
             }
-        }
+        });
     }
 }

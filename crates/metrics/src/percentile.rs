@@ -124,7 +124,8 @@ impl Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_f64};
+    use rng::Rng;
 
     #[test]
     fn empty_sampler_returns_none() {
@@ -193,35 +194,35 @@ mod tests {
         s.percentile(101.0);
     }
 
-    proptest! {
-        #[test]
-        fn percentile_is_monotone(
-            mut vals in proptest::collection::vec(-1e9..1e9f64, 1..200),
-            p1 in 0.0..100.0f64,
-            p2 in 0.0..100.0f64,
-        ) {
+    #[test]
+    fn percentile_is_monotone() {
+        cases(128, |_case, rng| {
+            let vals = vec_f64(rng, 1..200, -1e9..1e9);
+            let p1: f64 = rng.gen_range(0.0..100.0);
+            let p2: f64 = rng.gen_range(0.0..100.0);
             let mut s = Sampler::new();
-            for v in vals.drain(..) {
+            for &v in &vals {
                 s.record(v);
             }
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             let a = s.percentile(lo).unwrap();
             let b = s.percentile(hi).unwrap();
-            prop_assert!(a <= b + 1e-9);
-        }
+            assert!(a <= b + 1e-9, "p{lo}={a} > p{hi}={b} over {vals:?}");
+        });
+    }
 
-        #[test]
-        fn percentile_bounded_by_min_max(
-            mut vals in proptest::collection::vec(-1e9..1e9f64, 1..200),
-            p in 0.0..100.0f64,
-        ) {
+    #[test]
+    fn percentile_bounded_by_min_max() {
+        cases(128, |_case, rng| {
+            let vals = vec_f64(rng, 1..200, -1e9..1e9);
+            let p: f64 = rng.gen_range(0.0..100.0);
             let mut s = Sampler::new();
-            for v in vals.drain(..) {
+            for &v in &vals {
                 s.record(v);
             }
             let v = s.percentile(p).unwrap();
-            prop_assert!(v >= s.min().unwrap() - 1e-9);
-            prop_assert!(v <= s.max().unwrap() + 1e-9);
-        }
+            assert!(v >= s.min().unwrap() - 1e-9, "p{p}={v} below min, {vals:?}");
+            assert!(v <= s.max().unwrap() + 1e-9, "p{p}={v} above max, {vals:?}");
+        });
     }
 }

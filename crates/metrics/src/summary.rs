@@ -135,7 +135,7 @@ pub fn jain_index(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_f64};
 
     #[test]
     fn empty_defaults() {
@@ -175,19 +175,21 @@ mod tests {
         assert!((jain_index(&[1.0, -5.0]) - 0.5).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn jain_bounded(values in proptest::collection::vec(0.0..1e9f64, 1..50)) {
+    #[test]
+    fn jain_bounded() {
+        cases(128, |_case, rng| {
+            let values = vec_f64(rng, 1..50, 0.0..1e9);
             let j = jain_index(&values);
-            prop_assert!(j >= 1.0 / values.len() as f64 - 1e-9);
-            prop_assert!(j <= 1.0 + 1e-9);
-        }
+            assert!(j >= 1.0 / values.len() as f64 - 1e-9, "jain {j} for {values:?}");
+            assert!(j <= 1.0 + 1e-9, "jain {j} for {values:?}");
+        });
+    }
 
-        #[test]
-        fn merge_equals_sequential(
-            a in proptest::collection::vec(-1e6..1e6f64, 0..50),
-            b in proptest::collection::vec(-1e6..1e6f64, 0..50),
-        ) {
+    #[test]
+    fn merge_equals_sequential() {
+        cases(128, |_case, rng| {
+            let a = vec_f64(rng, 0..50, -1e6..1e6);
+            let b = vec_f64(rng, 0..50, -1e6..1e6);
             let mut s1 = Summary::new();
             let mut s2 = Summary::new();
             let mut all = Summary::new();
@@ -200,9 +202,19 @@ mod tests {
                 all.record(v);
             }
             s1.merge(&s2);
-            prop_assert_eq!(s1.count(), all.count());
-            prop_assert!((s1.mean() - all.mean()).abs() < 1e-6);
-            prop_assert!((s1.variance() - all.variance()).abs() < 1e-3);
-        }
+            assert_eq!(s1.count(), all.count());
+            assert!(
+                (s1.mean() - all.mean()).abs() < 1e-6,
+                "merged mean {} vs sequential {} ({a:?} + {b:?})",
+                s1.mean(),
+                all.mean()
+            );
+            assert!(
+                (s1.variance() - all.variance()).abs() < 1e-3,
+                "merged variance {} vs sequential {} ({a:?} + {b:?})",
+                s1.variance(),
+                all.variance()
+            );
+        });
     }
 }

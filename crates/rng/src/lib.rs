@@ -1,0 +1,360 @@
+//! Deterministic in-repo pseudo-random number generation.
+//!
+//! The reproduction must build and test with zero network access, so it
+//! cannot depend on the `rand` crate. This crate provides the narrow
+//! slice of that API the workspace actually uses — a seedable generator,
+//! uniform `gen_range` sampling over integer and float ranges, and slice
+//! `choose`/`shuffle` — backed by xoshiro256++ seeded via SplitMix64.
+//! Both algorithms are public domain (Blackman & Vigna) and need a
+//! handful of lines each; the point is determinism and zero
+//! dependencies, not cryptographic quality.
+//!
+//! Module paths deliberately mirror `rand`'s (`rng::rngs::StdRng`,
+//! `rng::seq::SliceRandom`) so call sites read the same as before the
+//! registry dependency was removed.
+//!
+//! # Examples
+//!
+//! ```
+//! use rng::rngs::StdRng;
+//! use rng::{Rng, SeedableRng};
+//!
+//! let mut r = StdRng::seed_from_u64(7);
+//! let x = r.gen_range(0..10u64);
+//! assert!(x < 10);
+//! let f: f64 = r.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&f));
+//! ```
+
+pub mod props;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator seedable from a `u64`, mirroring `rand::SeedableRng`'s
+/// `seed_from_u64` entry point.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit output source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Derived sampling methods, mirroring the `rand::Rng` surface the
+/// workspace uses.
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: the standard unbiased mapping.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// SplitMix64: used to expand a `u64` seed into xoshiro state, so that
+/// similar seeds still give uncorrelated streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++: the workspace's standard generator.
+///
+/// 256 bits of state, period 2^256 − 1, equidistributed in every 64-bit
+/// lane. Deliberately *not* cryptographic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator, by the name call sites expect.
+pub type StdRng = Xoshiro256pp;
+
+/// `rand`-style module alias: `rng::rngs::StdRng`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for lane in &mut s {
+            *lane = splitmix64(&mut sm);
+        }
+        // All-zero state is the one fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but keep the guard explicit.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+/// A range uniform values can be drawn from; the `gen_range` argument.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform integer in `[0, span)` by rejection sampling:
+/// reject the `2^64 mod span` lowest raw values so every residue class
+/// is equally likely.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span; // 2^64 mod span
+    loop {
+        let r = rng.next_u64();
+        if r >= threshold {
+            return r % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, u16, u8, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let v = self.start + (self.end - self.start) * rng_f64(rng);
+        // Floating rounding can land exactly on `end`; fold it back in.
+        if v >= self.end {
+            self.start.max(f64_prev(self.end))
+        } else {
+            v
+        }
+    }
+}
+
+fn rng_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn f64_prev(v: f64) -> f64 {
+    // Largest float strictly below a finite positive-or-negative v.
+    if v == f64::NEG_INFINITY {
+        return v;
+    }
+    let bits = v.to_bits();
+    let prev = if v > 0.0 {
+        bits - 1
+    } else if v < 0.0 {
+        bits + 1
+    } else {
+        (-f64::MIN_POSITIVE).to_bits()
+    };
+    f64::from_bits(prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let draw = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        // SplitMix64 expansion: seeds 0 and 1 must share no outputs in a
+        // short prefix.
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert!(va.iter().all(|x| !vb.contains(x)));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(3..=7u32);
+            assert!((3..=7).contains(&w));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_every_value() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some residue never drawn");
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_interarrival_mean_within_5_percent() {
+        // Mirrors the workloads::dist usage this crate replaces `rand`
+        // for: inverse-CDF exponential sampling off gen_range.
+        let mut r = StdRng::seed_from_u64(7);
+        let mean_ns = 10_000_000.0; // 10 ms
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| {
+                let u: f64 = r.gen_range(1e-12..1.0);
+                -u.ln() * mean_ns
+            })
+            .sum();
+        let avg = total / n as f64;
+        assert!(
+            (avg - mean_ns).abs() / mean_ns < 0.05,
+            "sample mean {avg} vs {mean_ns}"
+        );
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn choose_and_shuffle_are_seed_deterministic() {
+        let items = [10, 20, 30, 40, 50];
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(items.choose(&mut a), items.choose(&mut b));
+        }
+        let mut va = items.to_vec();
+        let mut vb = items.to_vec();
+        va.shuffle(&mut a);
+        vb.shuffle(&mut b);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(8);
+        let mut v: Vec<u64> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements left in place is implausible");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut r = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut r), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5u64);
+    }
+}

@@ -152,7 +152,8 @@ impl EventQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_u64};
+    use rng::Rng;
 
     fn token_of(ev: &Event) -> u64 {
         match ev {
@@ -196,9 +197,10 @@ mod tests {
         assert!(q.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn total_order_is_respected(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    #[test]
+    fn total_order_is_respected() {
+        cases(128, |_case, rng| {
+            let times = vec_u64(rng, 1..200, 0..1_000);
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(Time(t), Event::AppTimer { token: i as u64 });
@@ -206,24 +208,27 @@ mod tests {
             let mut last = Time(0);
             let mut popped = 0;
             while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
+                assert!(t >= last, "popped {t:?} after {last:?} for {times:?}");
                 last = t;
                 popped += 1;
             }
-            prop_assert_eq!(popped, times.len());
-        }
+            assert_eq!(popped, times.len());
+        });
+    }
 
-        #[test]
-        fn stable_for_equal_timestamps(n in 1usize..100) {
+    #[test]
+    fn stable_for_equal_timestamps() {
+        cases(128, |_case, rng| {
+            let n = rng.gen_range(1..100usize);
             let mut q = EventQueue::new();
             for i in 0..n {
                 q.schedule(Time(42), Event::AppTimer { token: i as u64 });
             }
             let mut expect = 0u64;
             while let Some((_, ev)) = q.pop() {
-                prop_assert_eq!(token_of(&ev), expect);
+                assert_eq!(token_of(&ev), expect, "n = {n}");
                 expect += 1;
             }
-        }
+        });
     }
 }

@@ -105,7 +105,8 @@ impl PortQueue {
 mod tests {
     use super::*;
     use crate::packet::{FlowId, NodeId};
-    use proptest::prelude::*;
+    use rng::props::{cases, vec_u64};
+    use rng::Rng;
 
     fn pkt(payload: u64) -> Packet {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, payload)
@@ -146,20 +147,19 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn bytes_never_exceed_capacity(
-            sizes in proptest::collection::vec(0u64..3000, 1..100),
-            cap in 64u64..100_000,
-        ) {
+    #[test]
+    fn bytes_never_exceed_capacity() {
+        cases(128, |_case, rng| {
+            let sizes = vec_u64(rng, 1..100, 0..3000);
+            let cap = rng.gen_range(64..100_000u64);
             let mut q = PortQueue::new(cap);
-            for s in sizes {
+            for &s in &sizes {
                 q.enqueue(pkt(s));
-                prop_assert!(q.bytes() <= cap);
+                assert!(q.bytes() <= cap, "queue {} over cap {cap} after {s}", q.bytes());
             }
             // Draining returns accounting to zero.
             while q.dequeue().is_some() {}
-            prop_assert_eq!(q.bytes(), 0);
-        }
+            assert_eq!(q.bytes(), 0, "bytes nonzero after drain, sizes {sizes:?}");
+        });
     }
 }

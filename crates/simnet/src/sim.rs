@@ -8,8 +8,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use metrics::{FctCollector, FlowRecord, RateMeter};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::rngs::StdRng;
+use rng::{Rng, SeedableRng};
 
 use crate::app::{Application, FlowEvent};
 use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};

@@ -457,7 +457,13 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::node::Node;
-    use proptest::prelude::*;
+    use rng::props::cases;
+    use rng::Rng;
+
+    fn random_shape(rng: &mut impl rng::RngCore) -> Vec<u8> {
+        let len = rng.gen_range(0..12usize);
+        (0..len).map(|_| rng.gen_range(0..16u8)).collect()
+    }
 
     /// Builds a random tree: `shape[i]` attaches switch i+1 to switch
     /// `shape[i] % (i+1)`; every switch gets `hosts_per` hosts.
@@ -481,12 +487,11 @@ mod proptests {
         t.build_drop_tail()
     }
 
-    proptest! {
-        #[test]
-        fn routes_reach_every_destination(
-            shape in proptest::collection::vec(0u8..16, 0..12),
-            hosts_per in 1usize..3,
-        ) {
+    #[test]
+    fn routes_reach_every_destination() {
+        cases(64, |_case, rng| {
+            let shape = random_shape(rng);
+            let hosts_per = rng.gen_range(1..3usize);
             let net = random_tree(&shape, hosts_per);
             // From every node, following next hops toward every host must
             // terminate at that host without loops.
@@ -496,26 +501,30 @@ mod proptests {
                     let mut hops = 0;
                     while at != dst {
                         hops += 1;
-                        prop_assert!(hops <= net.nodes.len(), "routing loop toward {dst:?}");
+                        assert!(
+                            hops <= net.nodes.len(),
+                            "routing loop toward {dst:?} in tree {shape:?}"
+                        );
                         at = match &net.nodes[at.0 as usize] {
                             Node::Switch(sw) => {
                                 let port = sw.route(dst).expect("route exists");
                                 sw.ports[port].link.peer
                             }
                             Node::Host(h) => {
-                                prop_assert!(at != dst);
+                                assert!(at != dst);
                                 h.nic.link.peer
                             }
                         };
                     }
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn peer_ports_are_mutual(
-            shape in proptest::collection::vec(0u8..16, 0..12),
-        ) {
+    #[test]
+    fn peer_ports_are_mutual() {
+        cases(64, |_case, rng| {
+            let shape = random_shape(rng);
             let net = random_tree(&shape, 1);
             for node in &net.nodes {
                 let ports: Vec<_> = match node {
@@ -525,10 +534,10 @@ mod proptests {
                 for (idx, port) in ports.into_iter().enumerate() {
                     let peer = &net.nodes[port.link.peer.0 as usize];
                     let back = peer.port(port.link.peer_port);
-                    prop_assert_eq!(back.link.peer, node.id());
-                    prop_assert_eq!(back.link.peer_port, idx);
+                    assert_eq!(back.link.peer, node.id(), "tree {shape:?}");
+                    assert_eq!(back.link.peer_port, idx, "tree {shape:?}");
                 }
             }
-        }
+        });
     }
 }

@@ -224,7 +224,9 @@ impl ReceiverEndpoint for StreamReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rng::props::cases;
+    use rng::seq::SliceRandom;
+    use rng::Rng;
 
     #[test]
     fn in_order_delivery() {
@@ -356,20 +358,21 @@ mod tests {
         assert_eq!(r.delivered_bytes(), 100);
     }
 
-    proptest! {
-        #[test]
-        fn random_arrival_order_reassembles(
-            order in Just((0u64..20).collect::<Vec<u64>>()).prop_shuffle(),
-            dup in proptest::collection::vec(0u64..20, 0..10),
-        ) {
+    #[test]
+    fn random_arrival_order_reassembles() {
+        cases(128, |_case, rng| {
+            let mut order: Vec<u64> = (0..20).collect();
+            order.shuffle(rng);
+            let dup_len = rng.gen_range(0..10usize);
+            let dup: Vec<u64> = (0..dup_len).map(|_| rng.gen_range(0..20u64)).collect();
             let mut b = RecvBuffer::new();
             let mut total = 0;
             for seg in order.iter().chain(dup.iter()) {
                 total += b.on_segment(seg * 100, 100);
             }
-            prop_assert_eq!(total, 2_000);
-            prop_assert_eq!(b.rcv_nxt(), 2_000);
-            prop_assert_eq!(b.ooo_ranges(), 0);
-        }
+            assert_eq!(total, 2_000, "order {order:?}, dup {dup:?}");
+            assert_eq!(b.rcv_nxt(), 2_000, "order {order:?}, dup {dup:?}");
+            assert_eq!(b.ooo_ranges(), 0, "order {order:?}, dup {dup:?}");
+        });
     }
 }

@@ -6,7 +6,7 @@
 use std::collections::BTreeSet;
 
 use metrics::{FctCollector, PiecewiseCdf};
-use rand::Rng;
+use rng::Rng;
 use simnet::app::{Application, FlowEvent};
 use simnet::endpoint::FlowSpec;
 use simnet::packet::{FlowId, NodeId};

@@ -1,7 +1,7 @@
 //! Distributions for workload generation.
 
 use metrics::PiecewiseCdf;
-use rand::Rng;
+use rng::Rng;
 use simnet::units::Dur;
 
 /// Samples an exponential interarrival time with the given mean.
@@ -50,8 +50,8 @@ pub fn sample_size(rng: &mut impl Rng, cdf: &PiecewiseCdf) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rng::rngs::StdRng;
+    use rng::SeedableRng;
 
     #[test]
     fn exp_mean_converges() {

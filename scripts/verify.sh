@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify: hermetic offline build + full test suite.
+#
+# Fails on any compiler warning (RUSTFLAGS -D warnings) and never
+# touches the network (CARGO_NET_OFFLINE): the workspace must build
+# from path-local crates alone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+
+echo "verify: OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-07047c76ea36ed5d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-07047c76ea36ed5d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-aa3441586a4c0e3c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-aa3441586a4c0e3c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-e9d4c137af4b0f5e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-e9d4c137af4b0f5e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

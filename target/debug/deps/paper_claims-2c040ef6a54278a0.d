@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-2c040ef6a54278a0.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-2c040ef6a54278a0: tests/paper_claims.rs
+
+tests/paper_claims.rs:

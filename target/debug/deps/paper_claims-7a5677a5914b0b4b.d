@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7a5677a5914b0b4b.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7a5677a5914b0b4b: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-addd87bea34fef8b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-addd87bea34fef8b: tests/properties.rs
+
+tests/properties.rs:

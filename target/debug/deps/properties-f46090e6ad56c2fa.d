@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f46090e6ad56c2fa.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f46090e6ad56c2fa: tests/properties.rs
+
+tests/properties.rs:

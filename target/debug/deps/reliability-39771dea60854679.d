@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliability-39771dea60854679.d: tests/reliability.rs
+
+/root/repo/target/debug/deps/reliability-39771dea60854679: tests/reliability.rs
+
+tests/reliability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliability-fcfc5abed881af5c.d: tests/reliability.rs
+
+/root/repo/target/debug/deps/reliability-fcfc5abed881af5c: tests/reliability.rs
+
+tests/reliability.rs:

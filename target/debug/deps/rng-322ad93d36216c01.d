@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rng-322ad93d36216c01.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/rng-322ad93d36216c01: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rng-8da5cbe6de496663.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/librng-8da5cbe6de496663.rlib: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/librng-8da5cbe6de496663.rmeta: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

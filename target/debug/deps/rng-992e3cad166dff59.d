@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rng-992e3cad166dff59.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/librng-992e3cad166dff59.rlib: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/librng-992e3cad166dff59.rmeta: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

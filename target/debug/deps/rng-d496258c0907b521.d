@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rng-d496258c0907b521.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/debug/deps/rng-d496258c0907b521: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

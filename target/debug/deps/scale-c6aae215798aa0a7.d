@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-c6aae215798aa0a7.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-c6aae215798aa0a7: tests/scale.rs
+
+tests/scale.rs:

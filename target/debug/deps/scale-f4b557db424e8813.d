@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-f4b557db424e8813.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-f4b557db424e8813: tests/scale.rs
+
+tests/scale.rs:

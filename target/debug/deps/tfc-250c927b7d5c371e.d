@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tfc-250c927b7d5c371e.d: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/debug/deps/libtfc-250c927b7d5c371e.rlib: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/debug/deps/libtfc-250c927b7d5c371e.rmeta: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arbiter.rs:
+crates/core/src/config.rs:
+crates/core/src/port.rs:
+crates/core/src/sender.rs:
+crates/core/src/stack.rs:
+crates/core/src/switch.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tfc-95f4836df9c8b9d7.d: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/debug/deps/libtfc-95f4836df9c8b9d7.rlib: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/debug/deps/libtfc-95f4836df9c8b9d7.rmeta: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arbiter.rs:
+crates/core/src/config.rs:
+crates/core/src/port.rs:
+crates/core/src/sender.rs:
+crates/core/src/stack.rs:
+crates/core/src/switch.rs:

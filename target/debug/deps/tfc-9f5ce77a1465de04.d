@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tfc-9f5ce77a1465de04.d: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/debug/deps/tfc-9f5ce77a1465de04: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arbiter.rs:
+crates/core/src/config.rs:
+crates/core/src/port.rs:
+crates/core/src/sender.rs:
+crates/core/src/stack.rs:
+crates/core/src/switch.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tfc_bench-1d0b22a98c1d4857.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/libtfc_bench-1d0b22a98c1d4857.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/libtfc_bench-1d0b22a98c1d4857.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/json.rs:

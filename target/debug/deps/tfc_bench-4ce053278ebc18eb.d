@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tfc_bench-4ce053278ebc18eb.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/debug/deps/tfc_bench-4ce053278ebc18eb: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/json.rs:

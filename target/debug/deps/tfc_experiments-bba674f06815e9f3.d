@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tfc_experiments-bba674f06815e9f3.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/benchmark.rs crates/experiments/src/goodput.rs crates/experiments/src/incast.rs crates/experiments/src/ne.rs crates/experiments/src/proto.rs crates/experiments/src/rho.rs crates/experiments/src/rttb.rs crates/experiments/src/sweeps.rs crates/experiments/src/util.rs crates/experiments/src/workconserving.rs
+
+/root/repo/target/debug/deps/tfc_experiments-bba674f06815e9f3: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/benchmark.rs crates/experiments/src/goodput.rs crates/experiments/src/incast.rs crates/experiments/src/ne.rs crates/experiments/src/proto.rs crates/experiments/src/rho.rs crates/experiments/src/rttb.rs crates/experiments/src/sweeps.rs crates/experiments/src/util.rs crates/experiments/src/workconserving.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/benchmark.rs:
+crates/experiments/src/goodput.rs:
+crates/experiments/src/incast.rs:
+crates/experiments/src/ne.rs:
+crates/experiments/src/proto.rs:
+crates/experiments/src/rho.rs:
+crates/experiments/src/rttb.rs:
+crates/experiments/src/sweeps.rs:
+crates/experiments/src/util.rs:
+crates/experiments/src/workconserving.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tfc_metrics-59dd1b044e01f345.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libtfc_metrics-59dd1b044e01f345.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libtfc_metrics-59dd1b044e01f345.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/ewma.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/percentile.rs:
+crates/metrics/src/rate.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

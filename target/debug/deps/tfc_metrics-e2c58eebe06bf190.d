@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tfc_metrics-e2c58eebe06bf190.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libtfc_metrics-e2c58eebe06bf190.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libtfc_metrics-e2c58eebe06bf190.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/ewma.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/percentile.rs:
+crates/metrics/src/rate.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfc_repro-0b36b8b4a7554fb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtfc_repro-0b36b8b4a7554fb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtfc_repro-0b36b8b4a7554fb1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfc_repro-6588783d687adeb4.d: src/lib.rs
+
+/root/repo/target/debug/deps/tfc_repro-6588783d687adeb4: src/lib.rs
+
+src/lib.rs:

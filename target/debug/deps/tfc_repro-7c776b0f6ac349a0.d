@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfc_repro-7c776b0f6ac349a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/tfc_repro-7c776b0f6ac349a0: src/lib.rs
+
+src/lib.rs:

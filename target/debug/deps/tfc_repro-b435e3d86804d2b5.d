@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfc_repro-b435e3d86804d2b5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtfc_repro-b435e3d86804d2b5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtfc_repro-b435e3d86804d2b5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tfc_simnet-98fadb848a950ec3.d: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+/root/repo/target/debug/deps/tfc_simnet-98fadb848a950ec3: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/app.rs:
+crates/simnet/src/endpoint.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/policy.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tfc_transport-4efebcbbfc5690a5.d: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/libtfc_transport-4efebcbbfc5690a5.rlib: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/libtfc_transport-4efebcbbfc5690a5.rmeta: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/recv.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/stack.rs:
+crates/transport/src/tcp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfc_transport-6cf093499cd2d573.d: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/debug/deps/tfc_transport-6cf093499cd2d573: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/recv.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/stack.rs:
+crates/transport/src/tcp.rs:

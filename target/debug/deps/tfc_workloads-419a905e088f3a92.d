@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tfc_workloads-419a905e088f3a92.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/debug/deps/libtfc_workloads-419a905e088f3a92.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/debug/deps/libtfc_workloads-419a905e088f3a92.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/incast.rs:
+crates/workloads/src/onoff.rs:
+crates/workloads/src/shuffle.rs:

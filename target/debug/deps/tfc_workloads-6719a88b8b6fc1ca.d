@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tfc_workloads-6719a88b8b6fc1ca.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/debug/deps/tfc_workloads-6719a88b8b6fc1ca: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/incast.rs:
+crates/workloads/src/onoff.rs:
+crates/workloads/src/shuffle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_allocation-29b026c3fa726de5.d: tests/weighted_allocation.rs
+
+/root/repo/target/debug/deps/weighted_allocation-29b026c3fa726de5: tests/weighted_allocation.rs
+
+tests/weighted_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weighted_allocation-61f2b78d6a2c3576.d: tests/weighted_allocation.rs
+
+/root/repo/target/debug/deps/weighted_allocation-61f2b78d6a2c3576: tests/weighted_allocation.rs
+
+tests/weighted_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_fct-098bd9ad226b7e62.d: examples/benchmark_fct.rs
+
+/root/repo/target/debug/examples/benchmark_fct-098bd9ad226b7e62: examples/benchmark_fct.rs
+
+examples/benchmark_fct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_fct-75ed9595307f8547.d: examples/benchmark_fct.rs
+
+/root/repo/target/debug/examples/benchmark_fct-75ed9595307f8547: examples/benchmark_fct.rs
+
+examples/benchmark_fct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incast-ad38e203fed756c7.d: examples/incast.rs
+
+/root/repo/target/debug/examples/incast-ad38e203fed756c7: examples/incast.rs
+
+examples/incast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incast-c34deb7101bdc74b.d: examples/incast.rs
+
+/root/repo/target/debug/examples/incast-c34deb7101bdc74b: examples/incast.rs
+
+examples/incast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e0642a677d509c7f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e0642a677d509c7f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2bb2be10578c622.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f2bb2be10578c622: examples/quickstart.rs
+
+examples/quickstart.rs:

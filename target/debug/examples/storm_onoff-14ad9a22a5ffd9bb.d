@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storm_onoff-14ad9a22a5ffd9bb.d: examples/storm_onoff.rs
+
+/root/repo/target/debug/examples/storm_onoff-14ad9a22a5ffd9bb: examples/storm_onoff.rs
+
+examples/storm_onoff.rs:

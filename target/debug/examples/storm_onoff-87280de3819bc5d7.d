@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storm_onoff-87280de3819bc5d7.d: examples/storm_onoff.rs
+
+/root/repo/target/debug/examples/storm_onoff-87280de3819bc5d7: examples/storm_onoff.rs
+
+examples/storm_onoff.rs:

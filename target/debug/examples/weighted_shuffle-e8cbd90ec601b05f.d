@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_shuffle-e8cbd90ec601b05f.d: examples/weighted_shuffle.rs
+
+/root/repo/target/debug/examples/weighted_shuffle-e8cbd90ec601b05f: examples/weighted_shuffle.rs
+
+examples/weighted_shuffle.rs:

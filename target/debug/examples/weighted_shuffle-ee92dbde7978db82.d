@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_shuffle-ee92dbde7978db82.d: examples/weighted_shuffle.rs
+
+/root/repo/target/debug/examples/weighted_shuffle-ee92dbde7978db82: examples/weighted_shuffle.rs
+
+examples/weighted_shuffle.rs:

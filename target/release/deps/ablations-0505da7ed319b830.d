@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-0505da7ed319b830.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-0505da7ed319b830: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

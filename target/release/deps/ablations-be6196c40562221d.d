@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-be6196c40562221d.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-be6196c40562221d: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-72721ce7d7e6dc11.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-72721ce7d7e6dc11: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-f786c8a120c86a51.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-f786c8a120c86a51: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_micro-6d6fd39e633e0d5d.d: crates/bench/benches/engine_micro.rs
+
+/root/repo/target/release/deps/engine_micro-6d6fd39e633e0d5d: crates/bench/benches/engine_micro.rs
+
+crates/bench/benches/engine_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_micro-8bf00054a6c421ce.d: crates/bench/benches/engine_micro.rs
+
+/root/repo/target/release/deps/engine_micro-8bf00054a6c421ce: crates/bench/benches/engine_micro.rs
+
+crates/bench/benches/engine_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-111c05e43ecd3f05.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-111c05e43ecd3f05: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

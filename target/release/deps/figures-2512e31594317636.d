@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-2512e31594317636.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-2512e31594317636: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

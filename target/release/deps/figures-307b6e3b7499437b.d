@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-307b6e3b7499437b.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-307b6e3b7499437b: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-bf65d02e5f3535b8.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-bf65d02e5f3535b8: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-76d3d95ee2cbc9c5.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-76d3d95ee2cbc9c5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-cc9a8676ee32a80c.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-cc9a8676ee32a80c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_figures-78c81afa10bd2308.d: crates/bench/benches/paper_figures.rs
+
+/root/repo/target/release/deps/paper_figures-78c81afa10bd2308: crates/bench/benches/paper_figures.rs
+
+crates/bench/benches/paper_figures.rs:

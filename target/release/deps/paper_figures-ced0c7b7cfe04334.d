@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_figures-ced0c7b7cfe04334.d: crates/bench/benches/paper_figures.rs
+
+/root/repo/target/release/deps/paper_figures-ced0c7b7cfe04334: crates/bench/benches/paper_figures.rs
+
+crates/bench/benches/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9dee28c4a2a12cdc.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-9dee28c4a2a12cdc: tests/properties.rs
+
+tests/properties.rs:

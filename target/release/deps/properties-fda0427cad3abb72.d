@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-fda0427cad3abb72.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-fda0427cad3abb72: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reliability-a7a8de53897d9c91.d: tests/reliability.rs
+
+/root/repo/target/release/deps/reliability-a7a8de53897d9c91: tests/reliability.rs
+
+tests/reliability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reliability-dd7de60ba220216a.d: tests/reliability.rs
+
+/root/repo/target/release/deps/reliability-dd7de60ba220216a: tests/reliability.rs
+
+tests/reliability.rs:

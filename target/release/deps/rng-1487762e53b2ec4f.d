@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rng-1487762e53b2ec4f.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/librng-1487762e53b2ec4f.rlib: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/librng-1487762e53b2ec4f.rmeta: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

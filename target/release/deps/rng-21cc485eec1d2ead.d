@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rng-21cc485eec1d2ead.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/librng-21cc485eec1d2ead.rlib: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/librng-21cc485eec1d2ead.rmeta: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rng-7e065d8d26e16968.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/rng-7e065d8d26e16968: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

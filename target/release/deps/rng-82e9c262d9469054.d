@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rng-82e9c262d9469054.d: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+/root/repo/target/release/deps/rng-82e9c262d9469054: crates/rng/src/lib.rs crates/rng/src/props.rs crates/rng/src/seq.rs
+
+crates/rng/src/lib.rs:
+crates/rng/src/props.rs:
+crates/rng/src/seq.rs:

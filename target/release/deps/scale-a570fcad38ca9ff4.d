@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-a570fcad38ca9ff4.d: tests/scale.rs
+
+/root/repo/target/release/deps/scale-a570fcad38ca9ff4: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-f13a7df9cd6ff4a3.d: tests/scale.rs
+
+/root/repo/target/release/deps/scale-f13a7df9cd6ff4a3: tests/scale.rs
+
+tests/scale.rs:

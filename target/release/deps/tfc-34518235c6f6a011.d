@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tfc-34518235c6f6a011.d: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/release/deps/libtfc-34518235c6f6a011.rlib: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/release/deps/libtfc-34518235c6f6a011.rmeta: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arbiter.rs:
+crates/core/src/config.rs:
+crates/core/src/port.rs:
+crates/core/src/sender.rs:
+crates/core/src/stack.rs:
+crates/core/src/switch.rs:

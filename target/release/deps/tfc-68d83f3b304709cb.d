@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tfc-68d83f3b304709cb.d: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/release/deps/libtfc-68d83f3b304709cb.rlib: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+/root/repo/target/release/deps/libtfc-68d83f3b304709cb.rmeta: crates/core/src/lib.rs crates/core/src/arbiter.rs crates/core/src/config.rs crates/core/src/port.rs crates/core/src/sender.rs crates/core/src/stack.rs crates/core/src/switch.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arbiter.rs:
+crates/core/src/config.rs:
+crates/core/src/port.rs:
+crates/core/src/sender.rs:
+crates/core/src/stack.rs:
+crates/core/src/switch.rs:

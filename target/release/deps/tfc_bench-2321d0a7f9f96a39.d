@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfc_bench-2321d0a7f9f96a39.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libtfc_bench-2321d0a7f9f96a39.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libtfc_bench-2321d0a7f9f96a39.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/json.rs:

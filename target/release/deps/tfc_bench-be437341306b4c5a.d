@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tfc_bench-be437341306b4c5a.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/tfc_bench-be437341306b4c5a: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/json.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfc_bench-de28c80cf4bc26f0.d: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libtfc_bench-de28c80cf4bc26f0.rlib: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+/root/repo/target/release/deps/libtfc_bench-de28c80cf4bc26f0.rmeta: crates/bench/src/lib.rs crates/bench/src/chart.rs crates/bench/src/harness.rs crates/bench/src/json.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chart.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/json.rs:

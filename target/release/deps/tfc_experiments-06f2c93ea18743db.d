@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/tfc_experiments-06f2c93ea18743db.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/benchmark.rs crates/experiments/src/goodput.rs crates/experiments/src/incast.rs crates/experiments/src/ne.rs crates/experiments/src/proto.rs crates/experiments/src/rho.rs crates/experiments/src/rttb.rs crates/experiments/src/sweeps.rs crates/experiments/src/util.rs crates/experiments/src/workconserving.rs
+
+/root/repo/target/release/deps/libtfc_experiments-06f2c93ea18743db.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/benchmark.rs crates/experiments/src/goodput.rs crates/experiments/src/incast.rs crates/experiments/src/ne.rs crates/experiments/src/proto.rs crates/experiments/src/rho.rs crates/experiments/src/rttb.rs crates/experiments/src/sweeps.rs crates/experiments/src/util.rs crates/experiments/src/workconserving.rs
+
+/root/repo/target/release/deps/libtfc_experiments-06f2c93ea18743db.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/benchmark.rs crates/experiments/src/goodput.rs crates/experiments/src/incast.rs crates/experiments/src/ne.rs crates/experiments/src/proto.rs crates/experiments/src/rho.rs crates/experiments/src/rttb.rs crates/experiments/src/sweeps.rs crates/experiments/src/util.rs crates/experiments/src/workconserving.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/benchmark.rs:
+crates/experiments/src/goodput.rs:
+crates/experiments/src/incast.rs:
+crates/experiments/src/ne.rs:
+crates/experiments/src/proto.rs:
+crates/experiments/src/rho.rs:
+crates/experiments/src/rttb.rs:
+crates/experiments/src/sweeps.rs:
+crates/experiments/src/util.rs:
+crates/experiments/src/workconserving.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tfc_metrics-6c60b509403e0f56.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/tfc_metrics-6c60b509403e0f56: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/ewma.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/percentile.rs:
+crates/metrics/src/rate.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

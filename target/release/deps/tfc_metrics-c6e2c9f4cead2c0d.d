@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tfc_metrics-c6e2c9f4cead2c0d.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libtfc_metrics-c6e2c9f4cead2c0d.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libtfc_metrics-c6e2c9f4cead2c0d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/ewma.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/percentile.rs:
+crates/metrics/src/rate.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tfc_metrics-dffa5ed11eb4b7c9.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libtfc_metrics-dffa5ed11eb4b7c9.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libtfc_metrics-dffa5ed11eb4b7c9.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/ewma.rs crates/metrics/src/fct.rs crates/metrics/src/histogram.rs crates/metrics/src/percentile.rs crates/metrics/src/rate.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/ewma.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/percentile.rs:
+crates/metrics/src/rate.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

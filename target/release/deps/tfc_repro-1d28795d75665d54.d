@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfc_repro-1d28795d75665d54.d: src/lib.rs
+
+/root/repo/target/release/deps/libtfc_repro-1d28795d75665d54.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtfc_repro-1d28795d75665d54.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tfc_repro-9f80728a35570390.d: src/lib.rs
+
+/root/repo/target/release/deps/tfc_repro-9f80728a35570390: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tfc_repro-f1cced18a50e8e5e.d: src/lib.rs
+
+/root/repo/target/release/deps/tfc_repro-f1cced18a50e8e5e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfc_repro-f91422e6a57364d1.d: src/lib.rs
+
+/root/repo/target/release/deps/libtfc_repro-f91422e6a57364d1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtfc_repro-f91422e6a57364d1.rmeta: src/lib.rs
+
+src/lib.rs:

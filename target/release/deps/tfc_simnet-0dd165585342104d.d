@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tfc_simnet-0dd165585342104d.d: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+/root/repo/target/release/deps/tfc_simnet-0dd165585342104d: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/app.rs:
+crates/simnet/src/endpoint.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/policy.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/units.rs:

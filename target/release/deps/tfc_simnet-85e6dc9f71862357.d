@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/tfc_simnet-85e6dc9f71862357.d: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+/root/repo/target/release/deps/libtfc_simnet-85e6dc9f71862357.rlib: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+/root/repo/target/release/deps/libtfc_simnet-85e6dc9f71862357.rmeta: crates/simnet/src/lib.rs crates/simnet/src/app.rs crates/simnet/src/endpoint.rs crates/simnet/src/event.rs crates/simnet/src/node.rs crates/simnet/src/packet.rs crates/simnet/src/policy.rs crates/simnet/src/queue.rs crates/simnet/src/sim.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/units.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/app.rs:
+crates/simnet/src/endpoint.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/packet.rs:
+crates/simnet/src/policy.rs:
+crates/simnet/src/queue.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tfc_transport-6bb11c05ddd6888d.d: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libtfc_transport-6bb11c05ddd6888d.rlib: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libtfc_transport-6bb11c05ddd6888d.rmeta: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/recv.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/stack.rs:
+crates/transport/src/tcp.rs:

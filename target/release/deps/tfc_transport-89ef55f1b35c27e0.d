@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tfc_transport-89ef55f1b35c27e0.d: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/tfc_transport-89ef55f1b35c27e0: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/recv.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/stack.rs:
+crates/transport/src/tcp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tfc_transport-a64f6b9d891a39db.d: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libtfc_transport-a64f6b9d891a39db.rlib: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+/root/repo/target/release/deps/libtfc_transport-a64f6b9d891a39db.rmeta: crates/transport/src/lib.rs crates/transport/src/recv.rs crates/transport/src/rtt.rs crates/transport/src/stack.rs crates/transport/src/tcp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/recv.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/stack.rs:
+crates/transport/src/tcp.rs:

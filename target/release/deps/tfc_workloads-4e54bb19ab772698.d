@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfc_workloads-4e54bb19ab772698.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/release/deps/tfc_workloads-4e54bb19ab772698: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/incast.rs:
+crates/workloads/src/onoff.rs:
+crates/workloads/src/shuffle.rs:

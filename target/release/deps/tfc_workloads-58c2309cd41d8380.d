@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfc_workloads-58c2309cd41d8380.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/release/deps/tfc_workloads-58c2309cd41d8380: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/incast.rs:
+crates/workloads/src/onoff.rs:
+crates/workloads/src/shuffle.rs:

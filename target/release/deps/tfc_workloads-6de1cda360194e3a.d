@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tfc_workloads-6de1cda360194e3a.d: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/release/deps/libtfc_workloads-6de1cda360194e3a.rlib: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+/root/repo/target/release/deps/libtfc_workloads-6de1cda360194e3a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/benchmark.rs crates/workloads/src/dist.rs crates/workloads/src/incast.rs crates/workloads/src/onoff.rs crates/workloads/src/shuffle.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/benchmark.rs:
+crates/workloads/src/dist.rs:
+crates/workloads/src/incast.rs:
+crates/workloads/src/onoff.rs:
+crates/workloads/src/shuffle.rs:

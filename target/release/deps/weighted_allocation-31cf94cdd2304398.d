@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weighted_allocation-31cf94cdd2304398.d: tests/weighted_allocation.rs
+
+/root/repo/target/release/deps/weighted_allocation-31cf94cdd2304398: tests/weighted_allocation.rs
+
+tests/weighted_allocation.rs:

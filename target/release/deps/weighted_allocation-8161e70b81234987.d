@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weighted_allocation-8161e70b81234987.d: tests/weighted_allocation.rs
+
+/root/repo/target/release/deps/weighted_allocation-8161e70b81234987: tests/weighted_allocation.rs
+
+tests/weighted_allocation.rs:

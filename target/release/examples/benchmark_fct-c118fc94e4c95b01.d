@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/benchmark_fct-c118fc94e4c95b01.d: examples/benchmark_fct.rs
+
+/root/repo/target/release/examples/benchmark_fct-c118fc94e4c95b01: examples/benchmark_fct.rs
+
+examples/benchmark_fct.rs:

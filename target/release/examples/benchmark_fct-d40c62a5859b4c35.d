@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/benchmark_fct-d40c62a5859b4c35.d: examples/benchmark_fct.rs
+
+/root/repo/target/release/examples/benchmark_fct-d40c62a5859b4c35: examples/benchmark_fct.rs
+
+examples/benchmark_fct.rs:

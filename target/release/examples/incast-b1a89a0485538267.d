@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incast-b1a89a0485538267.d: examples/incast.rs
+
+/root/repo/target/release/examples/incast-b1a89a0485538267: examples/incast.rs
+
+examples/incast.rs:

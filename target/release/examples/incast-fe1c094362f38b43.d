@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incast-fe1c094362f38b43.d: examples/incast.rs
+
+/root/repo/target/release/examples/incast-fe1c094362f38b43: examples/incast.rs
+
+examples/incast.rs:

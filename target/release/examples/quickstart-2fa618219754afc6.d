@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2fa618219754afc6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2fa618219754afc6: examples/quickstart.rs
+
+examples/quickstart.rs:

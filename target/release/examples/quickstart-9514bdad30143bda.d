@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9514bdad30143bda.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9514bdad30143bda: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/storm_onoff-601d5b15d1bb3876.d: examples/storm_onoff.rs
+
+/root/repo/target/release/examples/storm_onoff-601d5b15d1bb3876: examples/storm_onoff.rs
+
+examples/storm_onoff.rs:

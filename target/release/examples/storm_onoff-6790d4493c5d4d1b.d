@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/storm_onoff-6790d4493c5d4d1b.d: examples/storm_onoff.rs
+
+/root/repo/target/release/examples/storm_onoff-6790d4493c5d4d1b: examples/storm_onoff.rs
+
+examples/storm_onoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weighted_shuffle-91570e30947b81d4.d: examples/weighted_shuffle.rs
+
+/root/repo/target/release/examples/weighted_shuffle-91570e30947b81d4: examples/weighted_shuffle.rs
+
+examples/weighted_shuffle.rs:

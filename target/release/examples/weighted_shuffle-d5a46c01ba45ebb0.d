@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weighted_shuffle-d5a46c01ba45ebb0.d: examples/weighted_shuffle.rs
+
+/root/repo/target/release/examples/weighted_shuffle-d5a46c01ba45ebb0: examples/weighted_shuffle.rs
+
+examples/weighted_shuffle.rs:

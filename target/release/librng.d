@@ -1,0 +1,1 @@
+/root/repo/target/release/librng.rlib: /root/repo/crates/rng/src/lib.rs /root/repo/crates/rng/src/props.rs /root/repo/crates/rng/src/seq.rs

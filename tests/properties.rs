@@ -2,7 +2,8 @@
 //! protocol, every sized flow delivers its exact byte count, and the
 //! simulation is deterministic.
 
-use proptest::prelude::*;
+use rng::props::{cases, vec_u64};
+use rng::Rng;
 use simnet::app::NullApp;
 use simnet::endpoint::{FlowSpec, ProtocolStack};
 use simnet::policy::{DropTail, EcnMark};
@@ -78,25 +79,28 @@ fn run_matrix(w: Which, seed: u64, sizes: &[u64]) -> Vec<(u64, u64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn every_flow_delivers_exactly_its_bytes(
-        sizes in proptest::collection::vec(1u64..400_000, 1..6),
-        seed in 0u64..1_000,
-        which in prop_oneof![Just(Which::Tcp), Just(Which::Dctcp), Just(Which::Tfc)],
-    ) {
+#[test]
+fn every_flow_delivers_exactly_its_bytes() {
+    cases(12, |_case, rng| {
+        let sizes = vec_u64(rng, 1..6, 1..400_000);
+        let seed = rng.gen_range(0..1_000u64);
+        let which = *[Which::Tcp, Which::Dctcp, Which::Tfc]
+            .get(rng.gen_range(0..3usize))
+            .expect("in range");
         for (delivered, expect) in run_matrix(which, seed, &sizes) {
-            prop_assert_eq!(delivered, expect);
+            assert_eq!(
+                delivered, expect,
+                "{which:?} seed {seed}: delivered {delivered} of {expect} B ({sizes:?})"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn tfc_never_drops_on_clean_fabric(
-        sizes in proptest::collection::vec(1_000u64..200_000, 1..8),
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn tfc_never_drops_on_clean_fabric() {
+    cases(12, |_case, rng| {
+        let sizes = vec_u64(rng, 1..8, 1_000..200_000);
+        let seed = rng.gen_range(0..1_000u64);
         let (t, hosts, _) = testbed(Dur::nanos(500));
         let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
         let mut sim = Simulator::new(
@@ -111,15 +115,22 @@ proptest! {
         );
         for (i, &bytes) in sizes.iter().enumerate() {
             let src = hosts[i % 8];
-            sim.core_mut().start_flow(FlowSpec { src, dst: hosts[8], bytes: Some(bytes) ,
-                weight: 1,});
+            sim.core_mut().start_flow(FlowSpec {
+                src,
+                dst: hosts[8],
+                bytes: Some(bytes),
+                weight: 1,
+            });
         }
         sim.run();
-        prop_assert_eq!(sim.core().total_drops(), 0);
+        assert_eq!(sim.core().total_drops(), 0, "seed {seed}, sizes {sizes:?}");
         for (f, st) in sim.core().flows() {
-            prop_assert!(st.receiver_done_at.is_some(), "flow {:?} incomplete", f);
+            assert!(
+                st.receiver_done_at.is_some(),
+                "flow {f:?} incomplete (seed {seed}, sizes {sizes:?})"
+            );
         }
-    }
+    });
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! builds. Catches state-space bugs (routing tables, port indexing,
 //! delimiter churn) that small topologies cannot.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rng::seq::SliceRandom;
+use rng::{Rng, SeedableRng};
 use simnet::app::NullApp;
 use simnet::endpoint::FlowSpec;
 use simnet::sim::{SimConfig, Simulator};
@@ -33,7 +33,7 @@ fn full_leaf_spine_random_traffic_completes() {
             ..Default::default()
         },
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = rng::rngs::StdRng::seed_from_u64(99);
     let mut flows = Vec::new();
     for _ in 0..150 {
         let src = *hosts.choose(&mut rng).expect("hosts");
