@@ -93,9 +93,29 @@ const FIGURES: &[(&str, &str)] = &[
     ),
 ];
 
+/// Records how a figure's `results/<id>.json` dump was produced:
+/// `results/<id>/manifest.json` with seed, scale, and git describe.
+fn figure_manifest(id: &str, paper: bool, seed: u64) {
+    let topology = FIGURES
+        .iter()
+        .find(|(fid, _)| *fid == id)
+        .map(|(_, desc)| *desc)
+        .unwrap_or("see figure driver");
+    let m = telemetry::export::RunManifest {
+        run: id.to_string(),
+        seed,
+        topology: topology.to_string(),
+        config: format!("figures {id}{}", if paper { " --paper" } else { "" }),
+        git: telemetry::export::git_describe(),
+    };
+    if let Err(e) = telemetry::export::write_manifest(&m) {
+        eprintln!("figures: manifest for {id} not written: {e}");
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let run = |id: &str| match id {
+    let dispatch = |id: &str| match id {
         "fig06" => fig06(args.paper_scale, args.seed),
         "fig07" => fig07(args.paper_scale, args.seed),
         "fig08" | "fig09" | "fig10" => fig08_09_10(args.paper_scale, args.seed),
@@ -111,6 +131,10 @@ fn main() {
             eprintln!("unknown figure {other}; try --list");
             std::process::exit(2);
         }
+    };
+    let run = |id: &str| {
+        dispatch(id);
+        figure_manifest(id, args.paper_scale, args.seed);
     };
     if args.figure == "all" {
         for (id, _) in FIGURES {

@@ -1,0 +1,215 @@
+//! `tfc-trace` — inspect the artifact bundle of a telemetry-enabled run.
+//!
+//! ```text
+//! tfc-trace <results/run-dir>    summarize an exported run
+//! tfc-trace --smoke              run a small full-telemetry incast,
+//!                                export it, then summarize the artifact
+//! tfc-trace --help               this text
+//! ```
+//!
+//! The summary is built from the artifact files alone (manifest.json,
+//! counters.json, events.json, flows.json, tfc_slots.csv) — nothing is
+//! recomputed from a live simulation, so the tool works on bundles from
+//! any machine or commit.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use metrics::Sampler;
+use telemetry::export::parse_slots_csv;
+use telemetry::json::{self, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => {
+            eprintln!("usage: tfc-trace <results/run-dir> | --smoke");
+            if args.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some("--smoke") => match smoke_run() {
+            Ok(dir) => summarize(&dir),
+            Err(e) => {
+                eprintln!("tfc-trace: smoke run failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(dir) => summarize(Path::new(dir)),
+    }
+}
+
+/// Runs a small incast with full telemetry and returns the exported
+/// artifact directory.
+fn smoke_run() -> Result<PathBuf, String> {
+    use experiments::incast::IncastExpConfig;
+    use experiments::Proto;
+    use telemetry::TelemetryConfig;
+
+    let mut cfg = IncastExpConfig::testbed(Proto::Tfc, 8, 2);
+    cfg.telemetry = TelemetryConfig::full("smoke-incast");
+    println!("running smoke incast (8 senders, 2 rounds, full telemetry)...");
+    experiments::incast::run(&cfg);
+    let dir = telemetry::export::results_dir().join("smoke-incast");
+    if dir.join("manifest.json").exists() {
+        Ok(dir)
+    } else {
+        Err(format!("no artifacts under {}", dir.display()))
+    }
+}
+
+fn load_json(dir: &Path, name: &str) -> Result<Value, String> {
+    let path = dir.join(name);
+    let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn summarize(dir: &Path) -> ExitCode {
+    match try_summarize(dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tfc-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_summarize(dir: &Path) -> Result<(), String> {
+    let manifest = load_json(dir, "manifest.json")?;
+    let counters = load_json(dir, "counters.json")?;
+    let events = load_json(dir, "events.json")?;
+    let flows = load_json(dir, "flows.json")?;
+
+    let s = |v: &Value, k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+    let n = |v: &Value, k: &str| v.get(k).and_then(Value::as_i64).unwrap_or(0);
+
+    println!("run      : {}", s(&manifest, "run"));
+    println!(
+        "manifest : seed={} git={} topology={}",
+        n(&manifest, "seed"),
+        s(&manifest, "git"),
+        s(&manifest, "topology"),
+    );
+
+    // Exact per-kind counts (pre-sampling, pre-eviction).
+    println!("\nevent counts (exact):");
+    let ev_counts = counters
+        .get("events")
+        .ok_or("counters.json: missing `events`")?;
+    let mut drops = 0;
+    let mut retransmits = 0;
+    if let Value::Object(m) = ev_counts {
+        for (kind, count) in m {
+            let c = count.as_i64().unwrap_or(0);
+            if c > 0 {
+                println!("  {kind:<22} {c}");
+            }
+            match kind.as_str() {
+                "pkt_drop" => drops = c,
+                "flow_retransmit" => retransmits = c,
+                _ => {}
+            }
+        }
+    }
+    println!(
+        "  stored {} / evicted {} / sampled out {}",
+        n(&counters, "stored"),
+        n(&counters, "evicted"),
+        n(&counters, "sampled_out"),
+    );
+
+    // Event-loop profile (all-zero nanos when profiling was off).
+    if let Some(rows) = counters.get("loop").and_then(Value::as_array) {
+        println!("\nevent loop:");
+        for row in rows {
+            let c = n(row, "count");
+            if c > 0 {
+                let ns = n(row, "nanos");
+                println!("  {:<22} {c:>10}  {:.3} ms", s(row, "event"), ns as f64 / 1e6);
+            }
+        }
+        println!(
+            "  total: {} events, {:.3} ms handler time",
+            n(&counters, "loop_total"),
+            n(&counters, "loop_total_nanos") as f64 / 1e6,
+        );
+    }
+
+    // Queue-depth percentiles over the stored enqueue events.
+    let recs = events.as_array().ok_or("events.json: not an array")?;
+    let mut depths = Sampler::new();
+    for r in recs {
+        if r.get("kind").and_then(Value::as_str) == Some("pkt_enqueue") {
+            if let Some(q) = r.get("queue_bytes").and_then(Value::as_f64) {
+                depths.record(q);
+            }
+        }
+    }
+    if !depths.is_empty() {
+        println!("\nqueue depth at enqueue ({} stored events):", depths.len());
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            if let Some(v) = depths.percentile(p) {
+                println!("  p{p:<5} {v:.0} B");
+            }
+        }
+        println!("  max    {:.0} B", depths.max().unwrap_or(0.0));
+    }
+
+    // Per-flow timelines from the ground-truth summaries.
+    let fl = flows.as_array().ok_or("flows.json: not an array")?;
+    let delivered: i64 = fl.iter().map(|f| n(f, "delivered")).sum();
+    println!(
+        "\nflows: {}   delivered {} B   drops {drops}   retransmits {retransmits}",
+        fl.len(),
+        delivered,
+    );
+    let show = fl.len().min(10);
+    for f in &fl[..show] {
+        let done = f
+            .get("receiver_done_ns")
+            .and_then(Value::as_i64)
+            .map(|t| format!("{:.3} ms", t as f64 / 1e6))
+            .unwrap_or_else(|| "unfinished".into());
+        println!(
+            "  flow {:<4} {} -> {}  {:>9} B delivered  started {:.3} ms  done {}  rtx {}  rto {}",
+            n(f, "flow"),
+            n(f, "src"),
+            n(f, "dst"),
+            n(f, "delivered"),
+            n(f, "started_ns") as f64 / 1e6,
+            done,
+            n(f, "retransmits"),
+            n(f, "timeouts"),
+        );
+    }
+    if fl.len() > show {
+        println!("  ... and {} more", fl.len() - show);
+    }
+
+    // TFC per-port slot gauges.
+    let csv_path = dir.join("tfc_slots.csv");
+    if let Ok(text) = fs::read_to_string(&csv_path) {
+        let slots = parse_slots_csv(&text)?;
+        if !slots.is_empty() {
+            let mut per_port: BTreeMap<(u32, u16), (usize, f64, u64)> = BTreeMap::new();
+            for sl in &slots {
+                let e = per_port.entry((sl.node, sl.port)).or_insert((0, 0.0, 0));
+                e.0 += 1;
+                e.1 += sl.rho;
+                e.2 = sl.delayed_total;
+            }
+            println!("\ntfc slot gauges ({} samples):", slots.len());
+            for ((node, port), (count, rho_sum, delayed)) in per_port {
+                println!(
+                    "  switch {node} port {port}: {count} slots  mean rho {:.3}  delayed ACKs {delayed}",
+                    rho_sum / count as f64,
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -6,7 +6,11 @@
 
 pub mod chart;
 pub mod harness;
-pub mod json;
+
+// The JSON value/writer/parser (and the `json!` literal macro) live in
+// the telemetry crate so exporters and this harness share one format;
+// re-exported here for the figure dumpers.
+pub use telemetry::json;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -36,10 +40,8 @@ pub fn fmt_kb(bytes: f64) -> String {
     format!("{:.1} KB", bytes / 1e3)
 }
 
-/// Where figure JSON dumps go.
-pub fn results_dir() -> PathBuf {
-    PathBuf::from(std::env::var("TFC_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
-}
+/// Where figure JSON dumps go (shared with the telemetry exporters).
+pub use telemetry::export::results_dir;
 
 /// Writes a JSON value under `results/<name>.json`.
 ///

@@ -311,6 +311,7 @@ impl SenderEndpoint for TfcSender {
             } else {
                 self.cwnd = self.cfg.awnd;
             }
+            fx.note(Note::WindowAcquired { bytes: self.cwnd });
             self.rm_pending = true;
             if self.state == State::WindowAcq {
                 self.state = State::Streaming;

@@ -119,6 +119,26 @@ impl TfcSwitchPolicy {
         fx.trace(format!("{prefix}.token"), report.token_bytes);
         fx.trace(format!("{prefix}.rho"), report.rho);
     }
+
+    /// Emits the structured per-port gauge sample at slot close. Always
+    /// produced (one small struct per slot); the simulator's telemetry
+    /// layer discards it unless gauge collection is enabled.
+    fn slot_gauges(&self, port: usize, report: &crate::port::SlotReport, fx: &mut PolicyFx) {
+        let p = &self.ports[port];
+        fx.slot_sample(telemetry::PortSlotSample {
+            at_ns: 0, // stamped by the simulator
+            node: self.id.0,
+            port: port as u16,
+            token_bytes: report.token_bytes,
+            effective_flows: report.effective_flows,
+            rho: report.rho,
+            window_bytes: report.window_bytes,
+            rtt_b_ns: report.rtt_b.as_nanos(),
+            rtt_m_ns: report.rtt_m.as_nanos(),
+            held_acks: p.arbiter.queued() as u64,
+            delayed_total: p.arbiter.delayed_total(),
+        });
+    }
 }
 
 impl SwitchPolicy for TfcSwitchPolicy {
@@ -156,6 +176,7 @@ impl SwitchPolicy for TfcSwitchPolicy {
             let token = self.ports[out_port].engine.token_bytes();
             self.ports[out_port].arbiter.set_cap(token);
             self.trace_slot(out_port, &report, fx);
+            self.slot_gauges(out_port, &report, fx);
             self.arm_miss_timer(out_port, now, fx);
         } else if self.ports[out_port].engine.delimiter() != delim_before
             || self.ports[out_port].engine.slot_start() != slot_before

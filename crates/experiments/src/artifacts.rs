@@ -1,0 +1,63 @@
+//! Run-artifact export shared by every experiment driver.
+//!
+//! A driver that finds [`TelemetryConfig::export`] set on its simulator
+//! writes the full artifact bundle (manifest, counters, events, flows,
+//! TFC slot gauges) under `results/<run>/` via [`maybe_export`]. With
+//! export unset (the default) nothing touches the filesystem.
+
+use std::path::PathBuf;
+
+use simnet::sim::SimCore;
+use telemetry::export::{export_run, git_describe};
+use telemetry::{FlowSummary, RunManifest};
+
+/// Copies per-flow ground truth out of the simulator core.
+pub fn flow_summaries(core: &SimCore) -> Vec<FlowSummary> {
+    core.flows()
+        .map(|(id, st)| FlowSummary {
+            flow: id.0,
+            src: st.spec.src.0,
+            dst: st.spec.dst.0,
+            bytes: st.spec.bytes.unwrap_or(0),
+            delivered: st.delivered,
+            retransmits: st.retransmits,
+            timeouts: st.timeouts,
+            started_ns: st.started_at.nanos(),
+            established_ns: st.established_at.map(|t| t.nanos()),
+            receiver_done_ns: st.receiver_done_at.map(|t| t.nanos()),
+            sender_done_ns: st.sender_done_at.map(|t| t.nanos()),
+        })
+        .collect()
+}
+
+/// Exports the run's artifacts if the simulator was configured with an
+/// export name; returns the artifact directory. Export failures are
+/// reported on stderr but never abort the experiment.
+pub fn maybe_export(
+    core: &SimCore,
+    topology: impl Into<String>,
+    config: impl Into<String>,
+) -> Option<PathBuf> {
+    let run = core.config().telemetry.export.clone()?;
+    let manifest = RunManifest {
+        run,
+        seed: core.config().seed,
+        topology: topology.into(),
+        config: config.into(),
+        git: git_describe(),
+    };
+    let tel = core.telemetry();
+    match export_run(
+        &manifest,
+        &tel.log,
+        &tel.loop_stats,
+        &tel.slots,
+        &flow_summaries(core),
+    ) {
+        Ok(dir) => Some(dir),
+        Err(e) => {
+            eprintln!("telemetry export for run {:?} failed: {e}", manifest.run);
+            None
+        }
+    }
+}

@@ -9,6 +9,7 @@ use metrics::{FctSummary, SizeBin};
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::{leaf_spine, testbed};
 use simnet::units::{Bandwidth, Dur, Time};
+use telemetry::TelemetryConfig;
 use workloads::{BenchmarkApp, BenchmarkConfig};
 
 use crate::proto::{Proto, ProtoConfig};
@@ -49,6 +50,8 @@ pub struct BenchExpConfig {
     pub bg_interarrival: Dur,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl BenchExpConfig {
@@ -64,6 +67,7 @@ impl BenchExpConfig {
             short_interarrival: Dur::millis(12),
             bg_interarrival: Dur::millis(5),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -83,6 +87,7 @@ impl BenchExpConfig {
             short_interarrival: Dur::millis(3),
             bg_interarrival: Dur::millis(1),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -152,9 +157,11 @@ pub fn run(cfg: &BenchExpConfig) -> BenchResult {
             end: Some(Time(cfg.horizon.as_nanos() + cfg.drain.as_nanos())),
             host_jitter: None,
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     sim.run();
+    crate::artifacts::maybe_export(sim.core(), format!("{:?}", cfg.scale), format!("{cfg:?}"));
 
     let (query, short, bg) = sim.app().fct_by_class(sim.core());
     let mut background = bg;

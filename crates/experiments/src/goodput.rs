@@ -9,6 +9,7 @@ use metrics::TimeSeries;
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::testbed;
 use simnet::units::{Dur, Time};
+use telemetry::TelemetryConfig;
 use workloads::{OnOffApp, OnOffFlow};
 
 use crate::proto::{Proto, ProtoConfig};
@@ -33,6 +34,8 @@ pub struct GoodputConfig {
     pub proto_cfg: ProtoConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl GoodputConfig {
@@ -48,6 +51,7 @@ impl GoodputConfig {
             link_delay: Dur::nanos(500),
             proto_cfg: ProtoConfig::default(),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -62,6 +66,7 @@ impl GoodputConfig {
             link_delay: Dur::nanos(500),
             proto_cfg: ProtoConfig::default(),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -117,12 +122,14 @@ pub fn run(cfg: &GoodputConfig) -> GoodputResult {
             end: Some(Time(horizon)),
             host_jitter: None,
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     let nf1 = switches[1];
     let port = sim.core().route_of(nf1, hosts[2]).expect("route to H3");
     sample_queue(sim.core_mut(), nf1, port, cfg.queue_sample, "queue");
     sim.run();
+    crate::artifacts::maybe_export(sim.core(), "testbed(3 hosts, 2 switches)", format!("{cfg:?}"));
 
     let flow_ids = sim.app().flow_ids().to_vec();
     let flows: Vec<TimeSeries> = flow_ids

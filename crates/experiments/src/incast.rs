@@ -10,6 +10,7 @@
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::star;
 use simnet::units::{Bandwidth, Dur, Time};
+use telemetry::TelemetryConfig;
 use workloads::{IncastApp, IncastConfig};
 
 use crate::proto::{Proto, ProtoConfig};
@@ -41,6 +42,8 @@ pub struct IncastExpConfig {
     pub proto_cfg: ProtoConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl IncastExpConfig {
@@ -58,6 +61,7 @@ impl IncastExpConfig {
             fresh_connections: true,
             proto_cfg: ProtoConfig::default(),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 
@@ -75,6 +79,7 @@ impl IncastExpConfig {
             fresh_connections: true,
             proto_cfg: ProtoConfig::ten_gig(),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -125,11 +130,17 @@ pub fn run(cfg: &IncastExpConfig) -> IncastExpResult {
             end: cfg.horizon.map(|h| Time(h.as_nanos())),
             host_jitter: None,
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     let port = sim.core().route_of(sw, receiver).expect("downlink");
     sample_queue(sim.core_mut(), sw, port, Dur::micros(100), "queue");
     sim.run();
+    crate::artifacts::maybe_export(
+        sim.core(),
+        format!("star(n={})", cfg.senders + 1),
+        format!("{cfg:?}"),
+    );
 
     let app = sim.app();
     let (_, max_q, drops, _) = sim.core().port_stats(sw, port);

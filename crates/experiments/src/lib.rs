@@ -1,5 +1,6 @@
 //! Paper-experiment assembly: one module per figure of §6.
 pub mod ablations;
+pub mod artifacts;
 pub mod benchmark;
 pub mod goodput;
 pub mod incast;

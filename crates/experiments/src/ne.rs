@@ -9,6 +9,7 @@
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::testbed;
 use simnet::units::{Dur, Time};
+use telemetry::TelemetryConfig;
 use tfc::config::TfcSwitchConfig;
 use tfc::{TfcStack, TfcSwitchPolicy};
 use workloads::{OnOffApp, OnOffFlow};
@@ -28,6 +29,8 @@ pub struct NeConfig {
     pub link_delay: Dur,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for NeConfig {
@@ -38,6 +41,7 @@ impl Default for NeConfig {
             n2: 5,
             link_delay: Dur::nanos(500),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -132,9 +136,11 @@ pub fn run(cfg: &NeConfig) -> NeResult {
             end: Some(Time(horizon)),
             host_jitter: None,
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     sim.run();
+    crate::artifacts::maybe_export(sim.core(), "testbed(6 hosts, 3 switches)", format!("{cfg:?}"));
 
     let nf2 = switches[2];
     let port = sim.core().route_of(nf2, h6).expect("route to H6");

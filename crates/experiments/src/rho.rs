@@ -9,6 +9,7 @@
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::testbed;
 use simnet::units::{Dur, Time};
+use telemetry::TelemetryConfig;
 use workloads::{OnOffApp, OnOffFlow};
 
 use crate::proto::{Proto, ProtoConfig};
@@ -25,6 +26,9 @@ pub struct RhoConfig {
     pub link_delay: Dur,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry; an export name gets the point's `rho0`
+    /// appended so sweep points land in distinct directories.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RhoConfig {
@@ -34,6 +38,7 @@ impl Default for RhoConfig {
             duration: Dur::millis(200),
             link_delay: Dur::nanos(500),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -76,6 +81,10 @@ fn run_point(cfg: &RhoConfig, rho0: f64) -> RhoPoint {
         })
         .collect();
     let app = OnOffApp::new(flows, 128 * 1024);
+    let mut telemetry = cfg.telemetry.clone();
+    if let Some(name) = &mut telemetry.export {
+        *name = format!("{name}-rho{rho0}");
+    }
     let mut sim = Simulator::new(
         net,
         proto_cfg.stack(Proto::Tfc),
@@ -85,12 +94,18 @@ fn run_point(cfg: &RhoConfig, rho0: f64) -> RhoPoint {
             end: Some(Time(horizon)),
             host_jitter: None,
             packet_log: 0,
+            telemetry,
         },
     );
     let nf2 = switches[2];
     let port = sim.core().route_of(nf2, h6).expect("route to H6");
     sample_queue(sim.core_mut(), nf2, port, Dur::millis(1), "queue");
     sim.run();
+    crate::artifacts::maybe_export(
+        sim.core(),
+        "testbed(6 hosts, 3 switches)",
+        format!("rho0={rho0} {cfg:?}"),
+    );
 
     // Receiver goodput: total delivered over the run (skip nothing; the
     // ramp-up is microseconds against a multi-ms run).

@@ -17,6 +17,7 @@ use simnet::packet::{FlowId, NodeId};
 use simnet::sim::{SimApi, SimConfig, Simulator};
 use simnet::topology::testbed;
 use simnet::units::{Dur, Time};
+use telemetry::TelemetryConfig;
 use tfc::config::TfcSwitchConfig;
 use tfc::{TfcStack, TfcSwitchPolicy};
 
@@ -36,6 +37,8 @@ pub struct RttbConfig {
     pub link_delay: Dur,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RttbConfig {
@@ -46,6 +49,7 @@ impl Default for RttbConfig {
             jitter: (Dur::micros(2), Dur::micros(8)),
             link_delay: Dur::nanos(500),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -148,9 +152,11 @@ pub fn run(cfg: &RttbConfig) -> RttbResult {
             end: Some(Time(horizon)),
             host_jitter: Some(cfg.jitter),
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     sim.run();
+    crate::artifacts::maybe_export(sim.core(), "testbed(3 hosts, 2 switches)", format!("{cfg:?}"));
 
     let nf1 = switches[1];
     let port = sim.core().route_of(nf1, hosts[2]).expect("route to H3");

@@ -11,6 +11,7 @@
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::multi_bottleneck;
 use simnet::units::{Bandwidth, Dur, Time};
+use telemetry::TelemetryConfig;
 use workloads::{OnOffApp, OnOffFlow};
 
 use crate::proto::{Proto, ProtoConfig};
@@ -38,6 +39,8 @@ pub struct WorkConservingConfig {
     pub link_delay: Dur,
     /// RNG seed.
     pub seed: u64,
+    /// Structured telemetry (event log, gauges, export; off by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for WorkConservingConfig {
@@ -51,6 +54,7 @@ impl Default for WorkConservingConfig {
             token_adjustment: true,
             link_delay: Dur::micros(20),
             seed: 1,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -116,6 +120,7 @@ pub fn run(cfg: &WorkConservingConfig) -> WorkConservingResult {
             end: Some(Time(horizon)),
             host_jitter: None,
             packet_log: 0,
+            telemetry: cfg.telemetry.clone(),
         },
     );
     let (s1, s2) = (switches[0], switches[1]);
@@ -124,6 +129,11 @@ pub fn run(cfg: &WorkConservingConfig) -> WorkConservingResult {
     sample_queue(sim.core_mut(), s1, s1_port, Dur::millis(1), "q.s1");
     sample_queue(sim.core_mut(), s2, s2_port, Dur::millis(1), "q.s2");
     sim.run();
+    crate::artifacts::maybe_export(
+        sim.core(),
+        "multi_bottleneck(4 hosts, 2 switches)",
+        format!("{cfg:?}"),
+    );
 
     let ids = sim.app().flow_ids().to_vec();
     let series_of = |range: std::ops::Range<usize>| {

@@ -67,6 +67,13 @@ pub enum Note {
     Timeout,
     /// A packet was retransmitted (loss accounting).
     Retransmit,
+    /// The sender adopted a new congestion window: TFC senders on every
+    /// RMA window stamp, TCP-family senders on loss-recovery changes.
+    /// Feeds flow window-acquisition telemetry.
+    WindowAcquired {
+        /// The adopted window in bytes.
+        bytes: u64,
+    },
     /// The sender measured one round-trip time (Fig. 6 reference data).
     RttSample {
         /// Measured RTT in nanoseconds.

@@ -61,6 +61,34 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// Export names of the event kinds, indexed by
+    /// [`kind_index`](Self::kind_index). The simulator hands this table
+    /// to the telemetry layer for per-kind loop counters.
+    pub const KIND_NAMES: [&'static str; 7] = [
+        "arrival",
+        "tx_done",
+        "host_timer",
+        "policy_timer",
+        "app_timer",
+        "sample",
+        "nic_enqueue",
+    ];
+
+    /// Dense index of this event's kind into [`Self::KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Arrival { .. } => 0,
+            Event::TxDone { .. } => 1,
+            Event::HostTimer { .. } => 2,
+            Event::PolicyTimer { .. } => 3,
+            Event::AppTimer { .. } => 4,
+            Event::Sample { .. } => 5,
+            Event::NicEnqueue { .. } => 6,
+        }
+    }
+}
+
 /// An event plus its activation time and a tie-breaking sequence number.
 #[derive(Debug)]
 struct Scheduled {

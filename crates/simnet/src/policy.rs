@@ -19,6 +19,10 @@ pub struct PolicyFx {
     /// Named trace samples `(series, value)` recorded at the current
     /// simulation time.
     pub traces: Vec<(String, f64)>,
+    /// TFC per-port gauge samples emitted at slot close. The simulator
+    /// stamps the time and forwards them to the telemetry layer (which
+    /// discards them unless gauge collection is enabled).
+    pub slot_samples: Vec<telemetry::PortSlotSample>,
 }
 
 impl PolicyFx {
@@ -40,6 +44,11 @@ impl PolicyFx {
     /// Records a trace sample.
     pub fn trace(&mut self, series: impl Into<String>, value: f64) {
         self.traces.push((series.into(), value));
+    }
+
+    /// Emits a TFC slot gauge sample.
+    pub fn slot_sample(&mut self, sample: telemetry::PortSlotSample) {
+        self.slot_samples.push(sample);
     }
 }
 

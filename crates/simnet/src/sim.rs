@@ -10,12 +10,13 @@ use std::collections::{BTreeMap, VecDeque};
 use metrics::{FctCollector, FlowRecord, RateMeter};
 use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
+use telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 
 use crate::app::{Application, FlowEvent};
 use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
 use crate::event::{Event, EventQueue};
 use crate::node::Node;
-use crate::packet::{FlowId, NodeId, Packet};
+use crate::packet::{Flags, FlowId, NodeId, Packet};
 use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
 use crate::topology::Network;
 use crate::trace::{QueueSampler, TraceCenter};
@@ -36,6 +37,9 @@ pub struct SimConfig {
     /// the last N arrival/drop events are kept for post-run debugging
     /// via [`SimCore::packet_log`].
     pub packet_log: usize,
+    /// Structured telemetry: typed event log, event-loop counters, TFC
+    /// slot gauges (all off by default; see [`SimCore::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -45,6 +49,7 @@ impl Default for SimConfig {
             end: None,
             host_jitter: None,
             packet_log: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -129,6 +134,7 @@ pub struct SimCore {
     fct: FctCollector,
     events_processed: u64,
     packet_log: VecDeque<PacketLogEntry>,
+    telemetry: Telemetry,
 }
 
 /// The simulator: a [`SimCore`] plus the workload application.
@@ -161,6 +167,17 @@ impl SimCore {
         let sender = self.stack.new_sender(flow, &spec);
         let receiver = self.stack.new_receiver(flow, &spec);
         let (src, dst) = (spec.src, spec.dst);
+        if self.telemetry.log.enabled() {
+            self.telemetry.log.record(
+                self.now.nanos(),
+                TraceEvent::FlowOpen {
+                    flow: flow.0,
+                    src: src.0,
+                    dst: dst.0,
+                    bytes: spec.bytes.unwrap_or(0),
+                },
+            );
+        }
         self.flows.insert(
             flow,
             FlowState {
@@ -306,6 +323,22 @@ impl SimCore {
         &self.trace
     }
 
+    /// The structured telemetry state (event log, loop counters, TFC
+    /// slot gauges).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (tests, exporters).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Completed-flow records.
     pub fn fct(&self) -> &FctCollector {
         &self.fct
@@ -431,6 +464,7 @@ impl SimCore {
 
     fn handle_note(&mut self, flow: FlowId, note: Note) {
         let now = self.now;
+        let tel_on = self.telemetry.log.enabled();
         let Some(state) = self.flows.get_mut(&flow) else {
             return;
         };
@@ -438,6 +472,11 @@ impl SimCore {
             Note::Established => {
                 if state.established_at.is_none() {
                     state.established_at = Some(now);
+                    if tel_on {
+                        self.telemetry
+                            .log
+                            .record(now.nanos(), TraceEvent::FlowEstablished { flow: flow.0 });
+                    }
                     self.pending_app
                         .push_back(AppCall::Flow(FlowEvent::Established(flow)));
                 }
@@ -446,6 +485,16 @@ impl SimCore {
                 state.delivered += bytes;
                 if let Some(m) = &mut state.meter {
                     m.add(now.nanos(), bytes);
+                }
+                if tel_on {
+                    self.telemetry.log.record(
+                        now.nanos(),
+                        TraceEvent::PktDeliver {
+                            node: state.spec.dst.0,
+                            flow: flow.0,
+                            bytes,
+                        },
+                    );
                 }
                 if state.watch_delivery {
                     self.pending_app
@@ -468,19 +517,76 @@ impl SimCore {
             Note::SenderDone => {
                 if state.sender_done_at.is_none() {
                     state.sender_done_at = Some(now);
+                    if tel_on {
+                        self.telemetry.log.record(
+                            now.nanos(),
+                            TraceEvent::FlowFin {
+                                flow: flow.0,
+                                delivered: state.delivered,
+                            },
+                        );
+                    }
                 }
             }
-            Note::Timeout => state.timeouts += 1,
-            Note::Retransmit => state.retransmits += 1,
+            Note::Timeout => {
+                state.timeouts += 1;
+                if tel_on {
+                    self.telemetry
+                        .log
+                        .record(now.nanos(), TraceEvent::FlowRto { flow: flow.0 });
+                }
+            }
+            Note::Retransmit => {
+                state.retransmits += 1;
+                if tel_on {
+                    self.telemetry
+                        .log
+                        .record(now.nanos(), TraceEvent::FlowRetransmit { flow: flow.0 });
+                }
+            }
+            Note::WindowAcquired { bytes } => {
+                if tel_on {
+                    self.telemetry.log.record(
+                        now.nanos(),
+                        TraceEvent::FlowWindowAcquired {
+                            flow: flow.0,
+                            window: bytes,
+                        },
+                    );
+                }
+            }
             Note::RttSample { nanos } => {
                 if state.watch_rtt {
                     state.rtt_samples.push((now.nanos(), nanos));
+                }
+                if tel_on {
+                    self.telemetry.log.record(
+                        now.nanos(),
+                        TraceEvent::FlowRttSample {
+                            flow: flow.0,
+                            nanos,
+                        },
+                    );
                 }
             }
         }
     }
 
     fn handle_event(&mut self, ev: Event) {
+        let kind = ev.kind_index();
+        self.telemetry.loop_stats.count(kind);
+        if self.telemetry.loop_stats.profiled() {
+            let t0 = std::time::Instant::now();
+            self.dispatch_event(ev);
+            self.telemetry
+                .loop_stats
+                .add_nanos(kind, t0.elapsed().as_nanos() as u64);
+        } else {
+            self.dispatch_event(ev);
+        }
+    }
+
+    fn dispatch_event(&mut self, ev: Event) {
         match ev {
             Event::NicEnqueue { node, pkt } => {
                 Self::enqueue_and_kick(
@@ -489,6 +595,7 @@ impl SimCore {
                     pkt,
                     self.now,
                     &mut self.events,
+                    &mut self.telemetry,
                 );
             }
             Event::Arrival { node, port, pkt } => {
@@ -543,17 +650,42 @@ impl SimCore {
 
     /// Enqueues `pkt` on `node`'s `port`, starting the transmitter if it
     /// is idle. Drops (with accounting in the queue) on overflow.
+    /// Returns whether the packet was accepted.
     fn enqueue_and_kick(
         node: &mut Node,
         port_idx: usize,
         pkt: Packet,
         now: Time,
         events: &mut EventQueue,
-    ) {
+        tel: &mut Telemetry,
+    ) -> bool {
         let id = node.id();
         let port = node.port_mut(port_idx);
         let wire = pkt.wire_bytes();
-        if port.queue.enqueue(pkt) && !port.busy {
+        let meta = tel.log.enabled().then(|| (pkt.flow.0, pkt.seq));
+        let accepted = port.queue.enqueue(pkt);
+        if let Some((flow, seq)) = meta {
+            let event = if accepted {
+                TraceEvent::PktEnqueue {
+                    node: id.0,
+                    port: port_idx as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                    queue_bytes: port.queue.bytes(),
+                }
+            } else {
+                TraceEvent::PktDrop {
+                    node: id.0,
+                    port: port_idx as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                }
+            };
+            tel.log.record(now.nanos(), event);
+        }
+        if accepted && !port.busy {
             port.busy = true;
             let ser = port.link.rate.serialize(wire);
             events.schedule(
@@ -564,6 +696,7 @@ impl SimCore {
                 },
             );
         }
+        accepted
     }
 
     fn tx_done(&mut self, node: NodeId, port_idx: usize) {
@@ -575,6 +708,18 @@ impl SimCore {
             .dequeue()
             .expect("TxDone with empty queue: transmitter state corrupt");
         port.tx_bytes += pkt.wire_bytes();
+        if self.telemetry.log.enabled() {
+            self.telemetry.log.record(
+                now.nanos(),
+                TraceEvent::PktDequeue {
+                    node: node.0,
+                    port: port_idx as u16,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                    bytes: pkt.wire_bytes(),
+                },
+            );
+        }
         let link = port.link;
         let next_ser = if port.queue.is_empty() {
             port.busy = false;
@@ -628,6 +773,7 @@ impl SimCore {
     /// egress policy hook (skipped for policy-injected packets).
     fn switch_egress(&mut self, node: NodeId, mut pkt: Packet, run_hook: bool) {
         let now = self.now;
+        let ce_before = pkt.flags.contains(Flags::CE);
         let mut fx = PolicyFx::new();
         let enqueue = {
             let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
@@ -648,19 +794,54 @@ impl SimCore {
             }
         };
         if let Some(out) = enqueue {
-            let before = self.nodes[node.0 as usize].port(out).queue.drops();
             let log_copy = (self.cfg.packet_log > 0).then(|| pkt.clone());
-            Self::enqueue_and_kick(
+            // The egress hook may have marked the packet; capture what the
+            // telemetry events need before the packet moves into the queue.
+            let marks = self.telemetry.log.enabled().then(|| {
+                (
+                    pkt.flow.0,
+                    pkt.seq,
+                    !ce_before && pkt.flags.contains(Flags::CE),
+                    pkt.flags.contains(Flags::RM),
+                    pkt.window,
+                )
+            });
+            let accepted = Self::enqueue_and_kick(
                 &mut self.nodes[node.0 as usize],
                 out,
                 pkt,
                 now,
                 &mut self.events,
+                &mut self.telemetry,
             );
-            if let Some(p) = log_copy {
-                if self.nodes[node.0 as usize].port(out).queue.drops() > before {
-                    self.log_packet(node, PacketEventKind::Drop, &p);
+            if accepted {
+                if let Some((flow, seq, ecn_marked, round_marked, window)) = marks {
+                    if ecn_marked {
+                        self.telemetry.log.record(
+                            now.nanos(),
+                            TraceEvent::PktEcnMark {
+                                node: node.0,
+                                port: out as u16,
+                                flow,
+                                seq,
+                            },
+                        );
+                    }
+                    if round_marked {
+                        self.telemetry.log.record(
+                            now.nanos(),
+                            TraceEvent::PktRoundMark {
+                                node: node.0,
+                                port: out as u16,
+                                flow,
+                                seq,
+                                window,
+                            },
+                        );
+                    }
                 }
+            } else if let Some(p) = log_copy {
+                self.log_packet(node, PacketEventKind::Drop, &p);
             }
         }
         self.apply_policy_fx(node, fx);
@@ -677,11 +858,25 @@ impl SimCore {
         for pkt in fx.inject {
             self.switch_egress(node, pkt, false);
         }
+        for mut sample in fx.slot_samples {
+            sample.at_ns = self.now.nanos();
+            self.telemetry.push_slot_sample(sample);
+        }
     }
 
     fn host_receive(&mut self, node: NodeId, pkt: Packet) {
         let now = self.now;
         let flow = pkt.flow;
+        if self.telemetry.log.enabled() && pkt.flags.contains(Flags::ACK) {
+            self.telemetry.log.record(
+                now.nanos(),
+                TraceEvent::PktAck {
+                    node: node.0,
+                    flow: flow.0,
+                    ack: pkt.ack,
+                },
+            );
+        }
         let mut fx = Effects::new();
         {
             let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
@@ -703,6 +898,7 @@ impl<A: Application> Simulator<A> {
     /// Builds a simulator from a network, protocol stack, application,
     /// and config.
     pub fn new(net: Network, stack: Box<dyn ProtocolStack>, app: A, cfg: SimConfig) -> Self {
+        let telemetry = Telemetry::new(&cfg.telemetry, cfg.seed, &Event::KIND_NAMES);
         Self {
             core: SimCore {
                 now: Time::ZERO,
@@ -722,6 +918,7 @@ impl<A: Application> Simulator<A> {
                 fct: FctCollector::new(),
                 events_processed: 0,
                 packet_log: VecDeque::new(),
+                telemetry,
             },
             app,
         }

@@ -24,11 +24,18 @@ impl TraceCenter {
     }
 
     /// Appends a point to the named series, creating it on first use.
+    ///
+    /// The lookup goes through `get_mut` first so the steady state (the
+    /// series already exists) allocates nothing; `entry` would build an
+    /// owned `String` key on every call.
     pub fn record(&mut self, key: &str, t: Time, v: f64) {
-        self.series
-            .entry(key.to_owned())
-            .or_insert_with(|| TimeSeries::new(key))
-            .push(t.nanos(), v);
+        if let Some(series) = self.series.get_mut(key) {
+            series.push(t.nanos(), v);
+            return;
+        }
+        let mut series = TimeSeries::new(key);
+        series.push(t.nanos(), v);
+        self.series.insert(key.to_owned(), series);
     }
 
     /// Looks up a series by name.

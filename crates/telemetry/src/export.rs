@@ -1,0 +1,457 @@
+//! Per-run artifact exporters.
+//!
+//! A run exports up to five files under `results/<run>/`:
+//!
+//! * `manifest.json` — seed, topology, config, git describe;
+//! * `counters.json` — exact per-kind event counts plus the event-loop
+//!   profile rows;
+//! * `events.json` — the stored [`EventRecord`]s (sampled/ring-bounded);
+//! * `flows.json` — per-flow ground-truth summaries from the simulator;
+//! * `tfc_slots.csv` — the per-port TFC gauge time series.
+//!
+//! Everything is plain JSON/CSV readable by `tfc-trace` (via
+//! [`crate::json::parse`]) or any external tool.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::process::Command;
+
+use crate::counters::{LoopStats, PortSlotSample};
+use crate::event::{EventLog, EventRecord, TraceEvent, EVENT_KIND_NAMES};
+use crate::json::{Map, Value};
+
+/// Metadata making a run reproducible from its artifacts alone.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// Run name (the directory under `results/`).
+    pub run: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Human-readable topology description.
+    pub topology: String,
+    /// Experiment / protocol configuration (usually the `Debug` form).
+    pub config: String,
+    /// `git describe` of the tree that produced the artifacts.
+    pub git: String,
+}
+
+/// Best-effort `git describe --always --dirty` of the working tree;
+/// `"unknown"` outside a repository or without git.
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Where run artifacts and figure dumps go (`TFC_RESULTS_DIR` overrides
+/// the default `results`).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("TFC_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+/// Per-flow ground truth copied out of the simulator after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Flow id.
+    pub flow: u64,
+    /// Source host.
+    pub src: u32,
+    /// Destination host.
+    pub dst: u32,
+    /// Requested size in bytes (0 = open-ended).
+    pub bytes: u64,
+    /// In-order bytes delivered to the application.
+    pub delivered: u64,
+    /// Packets retransmitted.
+    pub retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Start time (ns).
+    pub started_ns: u64,
+    /// Handshake completion time (ns), if reached.
+    pub established_ns: Option<u64>,
+    /// Receiver completion time (ns), if reached.
+    pub receiver_done_ns: Option<u64>,
+    /// Sender completion time (ns), if reached.
+    pub sender_done_ns: Option<u64>,
+}
+
+fn manifest_json(m: &RunManifest) -> Value {
+    crate::json!({
+        "run": m.run.as_str(),
+        "seed": m.seed,
+        "topology": m.topology.as_str(),
+        "config": m.config.as_str(),
+        "git": m.git.as_str(),
+    })
+}
+
+fn counters_json(log: &EventLog, loop_stats: &LoopStats) -> Value {
+    let mut events = Map::new();
+    for (name, count) in EVENT_KIND_NAMES.iter().zip(log.counts()) {
+        events.insert((*name).to_string(), Value::from(*count));
+    }
+    let loop_rows: Vec<Value> = loop_stats
+        .rows()
+        .map(|(name, count, nanos)| {
+            crate::json!({"event": name, "count": count, "nanos": nanos})
+        })
+        .collect();
+    crate::json!({
+        "events": Value::Object(events),
+        "stored": log.len(),
+        "evicted": log.evicted(),
+        "sampled_out": log.sampled_out(),
+        "loop": Value::Array(loop_rows),
+        "loop_total": loop_stats.total(),
+        "loop_total_nanos": loop_stats.total_nanos(),
+    })
+}
+
+/// The JSON form of one event record (the schema documented in the
+/// repository README).
+pub fn record_json(r: &EventRecord) -> Value {
+    let mut m = Map::new();
+    let mut put = |k: &str, v: Value| {
+        m.insert(k.to_string(), v);
+    };
+    put("at_ns", r.at_ns.into());
+    put("kind", r.event.kind_name().into());
+    match r.event {
+        TraceEvent::PktEnqueue {
+            node,
+            port,
+            flow,
+            seq,
+            bytes,
+            queue_bytes,
+        } => {
+            put("node", node.into());
+            put("port", port.into());
+            put("flow", flow.into());
+            put("seq", seq.into());
+            put("bytes", bytes.into());
+            put("queue_bytes", queue_bytes.into());
+        }
+        TraceEvent::PktDequeue {
+            node,
+            port,
+            flow,
+            seq,
+            bytes,
+        }
+        | TraceEvent::PktDrop {
+            node,
+            port,
+            flow,
+            seq,
+            bytes,
+        } => {
+            put("node", node.into());
+            put("port", port.into());
+            put("flow", flow.into());
+            put("seq", seq.into());
+            put("bytes", bytes.into());
+        }
+        TraceEvent::PktEcnMark {
+            node,
+            port,
+            flow,
+            seq,
+        } => {
+            put("node", node.into());
+            put("port", port.into());
+            put("flow", flow.into());
+            put("seq", seq.into());
+        }
+        TraceEvent::PktRoundMark {
+            node,
+            port,
+            flow,
+            seq,
+            window,
+        } => {
+            put("node", node.into());
+            put("port", port.into());
+            put("flow", flow.into());
+            put("seq", seq.into());
+            put("window", window.into());
+        }
+        TraceEvent::PktDeliver { node, flow, bytes } => {
+            put("node", node.into());
+            put("flow", flow.into());
+            put("bytes", bytes.into());
+        }
+        TraceEvent::PktAck { node, flow, ack } => {
+            put("node", node.into());
+            put("flow", flow.into());
+            put("ack", ack.into());
+        }
+        TraceEvent::FlowOpen {
+            flow,
+            src,
+            dst,
+            bytes,
+        } => {
+            put("flow", flow.into());
+            put("src", src.into());
+            put("dst", dst.into());
+            put("bytes", bytes.into());
+        }
+        TraceEvent::FlowEstablished { flow }
+        | TraceEvent::FlowRetransmit { flow }
+        | TraceEvent::FlowRto { flow } => {
+            put("flow", flow.into());
+        }
+        TraceEvent::FlowWindowAcquired { flow, window } => {
+            put("flow", flow.into());
+            put("window", window.into());
+        }
+        TraceEvent::FlowFin { flow, delivered } => {
+            put("flow", flow.into());
+            put("delivered", delivered.into());
+        }
+        TraceEvent::FlowRttSample { flow, nanos } => {
+            put("flow", flow.into());
+            put("nanos", nanos.into());
+        }
+    }
+    Value::Object(m)
+}
+
+fn flows_json(flows: &[FlowSummary]) -> Value {
+    Value::Array(
+        flows
+            .iter()
+            .map(|f| {
+                crate::json!({
+                    "flow": f.flow,
+                    "src": f.src,
+                    "dst": f.dst,
+                    "bytes": f.bytes,
+                    "delivered": f.delivered,
+                    "retransmits": f.retransmits,
+                    "timeouts": f.timeouts,
+                    "started_ns": f.started_ns,
+                    "established_ns": f.established_ns,
+                    "receiver_done_ns": f.receiver_done_ns,
+                    "sender_done_ns": f.sender_done_ns,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Column header of `tfc_slots.csv`.
+pub const SLOTS_CSV_HEADER: &str =
+    "at_ns,node,port,token_bytes,effective_flows,rho,window_bytes,rtt_b_ns,rtt_m_ns,held_acks,delayed_total";
+
+fn slots_csv(slots: &[PortSlotSample]) -> String {
+    let mut out = String::with_capacity(64 * (slots.len() + 1));
+    out.push_str(SLOTS_CSV_HEADER);
+    out.push('\n');
+    for s in slots {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            s.at_ns,
+            s.node,
+            s.port,
+            s.token_bytes,
+            s.effective_flows,
+            s.rho,
+            s.window_bytes,
+            s.rtt_b_ns,
+            s.rtt_m_ns,
+            s.held_acks,
+            s.delayed_total
+        );
+    }
+    out
+}
+
+/// Parses one `tfc_slots.csv` body back into samples (inverse of the
+/// exporter; used by `tfc-trace`).
+pub fn parse_slots_csv(text: &str) -> Result<Vec<PortSlotSample>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == SLOTS_CSV_HEADER => {}
+        other => return Err(format!("bad tfc_slots.csv header: {other:?}")),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 11 {
+            return Err(format!("row {}: expected 11 fields, got {}", i + 2, f.len()));
+        }
+        let num =
+            |j: usize| -> Result<f64, String> { f[j].parse().map_err(|e| format!("row {}: {e}", i + 2)) };
+        let int =
+            |j: usize| -> Result<u64, String> { f[j].parse().map_err(|e| format!("row {}: {e}", i + 2)) };
+        out.push(PortSlotSample {
+            at_ns: int(0)?,
+            node: int(1)? as u32,
+            port: int(2)? as u16,
+            token_bytes: num(3)?,
+            effective_flows: num(4)?,
+            rho: num(5)?,
+            window_bytes: int(6)?,
+            rtt_b_ns: int(7)?,
+            rtt_m_ns: int(8)?,
+            held_acks: int(9)?,
+            delayed_total: int(10)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes just `results/<manifest.run>/manifest.json` — for runs whose
+/// outputs live elsewhere (e.g. figure dumps) but should still record
+/// how they were produced. Returns the directory path.
+pub fn write_manifest(manifest: &RunManifest) -> io::Result<PathBuf> {
+    let dir = results_dir().join(&manifest.run);
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.join("manifest.json"), manifest_json(manifest).pretty())?;
+    Ok(dir)
+}
+
+/// Writes the full artifact set under `results/<manifest.run>/` and
+/// returns the directory path.
+pub fn export_run(
+    manifest: &RunManifest,
+    log: &EventLog,
+    loop_stats: &LoopStats,
+    slots: &[PortSlotSample],
+    flows: &[FlowSummary],
+) -> io::Result<PathBuf> {
+    let dir = write_manifest(manifest)?;
+    fs::write(dir.join("counters.json"), counters_json(log, loop_stats).pretty())?;
+    let events = Value::Array(log.records().iter().map(record_json).collect());
+    fs::write(dir.join("events.json"), events.pretty())?;
+    fs::write(dir.join("flows.json"), flows_json(flows).pretty())?;
+    fs::write(dir.join("tfc_slots.csv"), slots_csv(slots))?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogMode;
+    use crate::json;
+
+    const NAMES: [&str; 2] = ["arrival", "tx_done"];
+
+    fn sample() -> PortSlotSample {
+        PortSlotSample {
+            at_ns: 123,
+            node: 2,
+            port: 1,
+            token_bytes: 18_000.5,
+            effective_flows: 3.25,
+            rho: 0.97,
+            window_bytes: 5_840,
+            rtt_b_ns: 160_000,
+            rtt_m_ns: 170_500,
+            held_acks: 2,
+            delayed_total: 9,
+        }
+    }
+
+    #[test]
+    fn slots_csv_roundtrips() {
+        let slots = vec![sample(), PortSlotSample { at_ns: 456, ..sample() }];
+        let csv = slots_csv(&slots);
+        assert!(csv.starts_with(SLOTS_CSV_HEADER));
+        assert_eq!(parse_slots_csv(&csv).unwrap(), slots);
+        assert!(parse_slots_csv("nope\n1,2").is_err());
+    }
+
+    #[test]
+    fn export_writes_all_artifacts() {
+        let dir = std::env::temp_dir().join("tfc_telemetry_export_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::set_var("TFC_RESULTS_DIR", &dir);
+        let mut log = EventLog::new(LogMode::Full, 1, 1);
+        log.record(
+            10,
+            TraceEvent::PktDrop {
+                node: 2,
+                port: 0,
+                flow: 7,
+                seq: 1460,
+                bytes: 1500,
+            },
+        );
+        log.record(20, TraceEvent::FlowRetransmit { flow: 7 });
+        let mut stats = LoopStats::new(&NAMES, true);
+        stats.count(0);
+        stats.add_nanos(0, 55);
+        let flows = vec![FlowSummary {
+            flow: 7,
+            src: 0,
+            dst: 1,
+            bytes: 14_600,
+            delivered: 14_600,
+            retransmits: 1,
+            timeouts: 0,
+            started_ns: 0,
+            established_ns: Some(5),
+            receiver_done_ns: Some(99),
+            sender_done_ns: None,
+        }];
+        let manifest = RunManifest {
+            run: "unit".into(),
+            seed: 3,
+            topology: "star(2)".into(),
+            config: "Cfg { x: 1 }".into(),
+            git: "deadbeef".into(),
+        };
+        let out = export_run(&manifest, &log, &stats, &[sample()], &flows).unwrap();
+        for f in [
+            "manifest.json",
+            "counters.json",
+            "events.json",
+            "flows.json",
+            "tfc_slots.csv",
+        ] {
+            assert!(out.join(f).exists(), "{f} missing");
+        }
+        // Everything JSON parses back, and key fields survive.
+        let m = json::parse(&std::fs::read_to_string(out.join("manifest.json")).unwrap()).unwrap();
+        assert_eq!(m.get("seed").unwrap().as_i64(), Some(3));
+        let c = json::parse(&std::fs::read_to_string(out.join("counters.json")).unwrap()).unwrap();
+        assert_eq!(
+            c.get("events").unwrap().get("pkt_drop").unwrap().as_i64(),
+            Some(1)
+        );
+        let e = json::parse(&std::fs::read_to_string(out.join("events.json")).unwrap()).unwrap();
+        let recs = e.as_array().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get("kind").unwrap().as_str(), Some("pkt_drop"));
+        assert_eq!(recs[1].get("flow").unwrap().as_i64(), Some(7));
+        let fl = json::parse(&std::fs::read_to_string(out.join("flows.json")).unwrap()).unwrap();
+        assert_eq!(
+            fl.as_array().unwrap()[0].get("delivered").unwrap().as_i64(),
+            Some(14_600)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::remove_var("TFC_RESULTS_DIR");
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+}

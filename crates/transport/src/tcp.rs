@@ -254,6 +254,9 @@ impl TcpSender {
                 // Full acknowledgement: leave fast recovery.
                 self.in_recovery = false;
                 self.cwnd = self.ssthresh;
+                fx.note(Note::WindowAcquired {
+                    bytes: self.cwnd as u64,
+                });
             } else {
                 // Partial ack: retransmit the next hole, deflate.
                 self.retransmit_head(now, fx);
@@ -313,6 +316,9 @@ impl TcpSender {
             self.in_recovery = true;
             self.retransmit_head(now, fx);
             self.cwnd = self.ssthresh + 3.0 * MSS as f64;
+            fx.note(Note::WindowAcquired {
+                bytes: self.cwnd as u64,
+            });
             self.arm_timer(fx);
         }
     }
@@ -392,6 +398,9 @@ impl SenderEndpoint for TcpSender {
         fx.note(Note::Timeout);
         self.ssthresh = (self.outstanding() as f64 / 2.0).max(2.0 * MSS as f64);
         self.cwnd = MSS as f64;
+        fx.note(Note::WindowAcquired {
+            bytes: self.cwnd as u64,
+        });
         self.in_recovery = false;
         self.dup_acks = 0;
         self.est.back_off();

@@ -13,4 +13,15 @@ export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
 cargo build --release --workspace --all-targets
 cargo test -q --workspace
 
+# End-to-end telemetry: a fully-traced incast's exported artifacts must
+# reconcile exactly with the simulator's ground truth.
+cargo test -q -p tfc-repro --test telemetry
+
+# tfc-trace must summarize a smoke-run artifact bundle from the files
+# alone (exported into a scratch dir so committed results/ stay put).
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --smoke
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-incast" >/dev/null
+
 echo "verify: OK"
