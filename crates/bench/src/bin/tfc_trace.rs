@@ -4,6 +4,9 @@
 //! tfc-trace <results/run-dir>    summarize an exported run
 //! tfc-trace --smoke              run a small full-telemetry incast,
 //!                                export it, then summarize the artifact
+//! tfc-trace --chaos-smoke        run the chaos smoke pair (link flap +
+//!                                host stall, fixed seed) and summarize
+//!                                both artifact bundles
 //! tfc-trace --help               this text
 //! ```
 //!
@@ -25,7 +28,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: tfc-trace <results/run-dir> | --smoke");
+            eprintln!("usage: tfc-trace <results/run-dir> | --smoke | --chaos-smoke");
             if args.is_empty() {
                 ExitCode::FAILURE
             } else {
@@ -36,6 +39,22 @@ fn main() -> ExitCode {
             Ok(dir) => summarize(&dir),
             Err(e) => {
                 eprintln!("tfc-trace: smoke run failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--chaos-smoke") => match chaos_smoke_run() {
+            Ok(dirs) => {
+                for dir in &dirs {
+                    println!("\n=== {} ===", dir.display());
+                    if let Err(e) = try_summarize(dir) {
+                        eprintln!("tfc-trace: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tfc-trace: chaos smoke failed: {e}");
                 ExitCode::FAILURE
             }
         },
@@ -60,6 +79,33 @@ fn smoke_run() -> Result<PathBuf, String> {
     } else {
         Err(format!("no artifacts under {}", dir.display()))
     }
+}
+
+/// Runs the chaos smoke pair — a link flap and a host stall on a TFC
+/// star, fixed seed, full event telemetry — and returns the exported
+/// artifact directories.
+fn chaos_smoke_run() -> Result<Vec<PathBuf>, String> {
+    use experiments::faults::{self, FaultsConfig, Scenario};
+    use experiments::Proto;
+
+    let mut dirs = Vec::new();
+    for (scenario, run) in [
+        (Scenario::LinkFlap, "smoke-chaos-flap"),
+        (Scenario::HostStall, "smoke-chaos-stall"),
+    ] {
+        let cfg = FaultsConfig::exporting(Proto::Tfc, scenario, run);
+        println!(
+            "running chaos smoke ({} on a 5-host star, seed {})...",
+            scenario.label(),
+            cfg.seed
+        );
+        let r = faults::run(&cfg);
+        dirs.push(
+            r.export_dir
+                .ok_or_else(|| format!("{run}: no artifacts exported"))?,
+        );
+    }
+    Ok(dirs)
 }
 
 fn load_json(dir: &Path, name: &str) -> Result<Value, String> {
@@ -191,25 +237,143 @@ fn try_summarize(dir: &Path) -> Result<(), String> {
     }
 
     // TFC per-port slot gauges.
-    let csv_path = dir.join("tfc_slots.csv");
-    if let Ok(text) = fs::read_to_string(&csv_path) {
-        let slots = parse_slots_csv(&text)?;
-        if !slots.is_empty() {
-            let mut per_port: BTreeMap<(u32, u16), (usize, f64, u64)> = BTreeMap::new();
-            for sl in &slots {
-                let e = per_port.entry((sl.node, sl.port)).or_insert((0, 0.0, 0));
-                e.0 += 1;
-                e.1 += sl.rho;
-                e.2 = sl.delayed_total;
-            }
-            println!("\ntfc slot gauges ({} samples):", slots.len());
-            for ((node, port), (count, rho_sum, delayed)) in per_port {
-                println!(
-                    "  switch {node} port {port}: {count} slots  mean rho {:.3}  delayed ACKs {delayed}",
-                    rho_sum / count as f64,
-                );
-            }
+    let slots = match fs::read_to_string(dir.join("tfc_slots.csv")) {
+        Ok(text) => parse_slots_csv(&text)?,
+        Err(_) => Vec::new(),
+    };
+    if !slots.is_empty() {
+        let mut per_port: BTreeMap<(u32, u16), (usize, f64, u64)> = BTreeMap::new();
+        for sl in &slots {
+            let e = per_port.entry((sl.node, sl.port)).or_insert((0, 0.0, 0));
+            e.0 += 1;
+            e.1 += sl.rho;
+            e.2 = sl.delayed_total;
+        }
+        println!("\ntfc slot gauges ({} samples):", slots.len());
+        for ((node, port), (count, rho_sum, delayed)) in per_port {
+            println!(
+                "  switch {node} port {port}: {count} slots  mean rho {:.3}  delayed ACKs {delayed}",
+                rho_sum / count as f64,
+            );
         }
     }
+
+    fault_summary(recs, &slots, &s, &n);
     Ok(())
+}
+
+/// The recovery section: fault windows paired from the event log, the
+/// aggregate-goodput dip around them, window re-acquisition, and §4.3
+/// token reclamation read off the per-port `effective_flows` gauge.
+/// Prints nothing for fault-free runs.
+fn fault_summary(
+    recs: &[Value],
+    slots: &[telemetry::PortSlotSample],
+    s: &dyn Fn(&Value, &str) -> String,
+    n: &dyn Fn(&Value, &str) -> i64,
+) {
+    let mut fault_events = Vec::new();
+    for r in recs {
+        let cleared = match r.get("kind").and_then(Value::as_str) {
+            Some("fault_injected") => false,
+            Some("fault_cleared") => true,
+            _ => continue,
+        };
+        fault_events.push(chaos::recovery::FaultEventRec {
+            at_ns: n(r, "at_ns") as u64,
+            kind: s(r, "fault"),
+            cleared,
+            node: n(r, "node") as u32,
+            port: n(r, "port") as u16,
+            value: n(r, "value") as u64,
+        });
+    }
+    if fault_events.is_empty() {
+        return;
+    }
+    let windows = chaos::recovery::pair_windows(&fault_events);
+    println!("\nfault windows:");
+    for w in &windows {
+        let end = w
+            .end_ns
+            .map(|e| format!("{:.3} ms", e as f64 / 1e6))
+            .unwrap_or_else(|| "open".into());
+        println!(
+            "  {:<12} node {} port {}  {:.3} ms -> {}  (value {})",
+            w.kind,
+            w.node,
+            w.port,
+            w.start_ns as f64 / 1e6,
+            end,
+            w.value
+        );
+    }
+    let start = windows.iter().map(|w| w.start_ns).min().unwrap_or(0);
+    let end = windows
+        .iter()
+        .filter_map(|w| w.end_ns)
+        .max()
+        .unwrap_or(start);
+    let mut deliveries = Vec::new();
+    let mut acquired = Vec::new();
+    for r in recs {
+        match r.get("kind").and_then(Value::as_str) {
+            Some("pkt_deliver") => deliveries.push((n(r, "at_ns") as u64, n(r, "bytes") as u64)),
+            Some("flow_window_acquired") => acquired.push(n(r, "at_ns") as u64),
+            _ => {}
+        }
+    }
+    println!("\nrecovery:");
+    const BIN_NS: u64 = 500_000;
+    match chaos::recovery::goodput_dip(&deliveries, start, end, BIN_NS) {
+        Some(d) => {
+            println!(
+                "  goodput: baseline {:.0} Mbps, floor {:.0} Mbps (dip {:.0} %)",
+                d.baseline_bps / 1e6,
+                d.floor_bps / 1e6,
+                d.depth * 100.0
+            );
+            match d.recovery_ns {
+                Some(r) => println!(
+                    "  back to 90 % of baseline {:.3} ms after the last fault cleared",
+                    r as f64 / 1e6
+                ),
+                None => println!("  never back to 90 % of baseline before the run ended"),
+            }
+        }
+        None => println!("  goodput: no pre-fault baseline (fault too early or no deliveries)"),
+    }
+    match chaos::recovery::time_to_first_after(&acquired, end) {
+        Some(t) => println!(
+            "  first window acquisition {:.3} µs after the fault cleared",
+            t as f64 / 1e3
+        ),
+        None => println!("  no window acquisitions after the fault cleared"),
+    }
+    // §4.3: per-port effective-flow count shedding the silenced flow.
+    let mut per_port: BTreeMap<(u32, u16), Vec<(u64, f64)>> = BTreeMap::new();
+    for sl in slots {
+        per_port
+            .entry((sl.node, sl.port))
+            .or_default()
+            .push((sl.at_ns, sl.effective_flows));
+    }
+    for ((node, port), series) in per_port {
+        // Only ports that had flows to lose (E > 1 pre-fault).
+        let Some(&(_, e_before)) = series.iter().take_while(|&&(t, _)| t < start).last() else {
+            continue;
+        };
+        if e_before < 1.5 {
+            continue;
+        }
+        match chaos::recovery::settle_time_ns(&series, start, e_before - 0.5) {
+            Some(t) => println!(
+                "  switch {node} port {port}: E {e_before:.2} pre-fault, one flow's tokens reclaimed {:.3} µs after injection",
+                t as f64 / 1e3
+            ),
+            None => println!(
+                "  switch {node} port {port}: E {e_before:.2} pre-fault, tokens never reclaimed"
+            ),
+        }
+    }
 }

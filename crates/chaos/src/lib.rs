@@ -1,0 +1,27 @@
+//! Deterministic chaos: scripted fault timelines, seeded fault
+//! generators, and recovery metrics.
+//!
+//! The simulator itself only understands one atomic
+//! [`FaultAction`](simnet::fault::FaultAction) at a time; this crate
+//! layers the experiment vocabulary on top:
+//!
+//! * [`FaultTimeline`] — an ordered script of `(time, action)` pairs
+//!   with convenience constructors for the paired patterns (a link
+//!   *flap* is a down + an up, a *loss burst* is a window + its end,
+//!   ...). Installing the same timeline into runs with the same seed
+//!   yields byte-identical results.
+//! * [`ChaosGen`] — a seeded randomized timeline generator for chaos
+//!   suites: reproducible "random" flaps and stalls.
+//! * [`recovery`] — pure functions from exported run data (delivery
+//!   events, TFC slot gauges, fault windows) to recovery metrics:
+//!   goodput dip depth and duration, token-reclaim time, window
+//!   re-acquisition time. They operate on plain slices so both live
+//!   experiments and the `tfc-trace` artifact reader can use them.
+
+pub mod gen;
+pub mod recovery;
+pub mod timeline;
+
+pub use gen::ChaosGen;
+pub use recovery::{DipSummary, FaultEventRec, FaultWindow};
+pub use timeline::FaultTimeline;

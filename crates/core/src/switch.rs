@@ -14,7 +14,7 @@
 use simnet::node::PortLink;
 use simnet::packet::{Flags, NodeId, Packet};
 use simnet::policy::{EgressVerdict, IngressVerdict, PolicyFx, SwitchPolicy};
-use simnet::units::Time;
+use simnet::units::{Bandwidth, Time};
 
 use crate::arbiter::{ArbiterVerdict, DelayArbiter};
 use crate::config::TfcSwitchConfig;
@@ -199,6 +199,27 @@ impl SwitchPolicy for TfcSwitchPolicy {
             self.ports[out_port].engine.on_fin(pkt.flow);
         }
         EgressVerdict::Enqueue
+    }
+
+    /// Control-plane reboot of one port (the `PolicyReset` fault): the
+    /// token engine and delay arbiter are rebuilt from scratch at the
+    /// port's current line rate, exactly as at construction. All learnt
+    /// state — token pool, effective-flow count, rho, delimiter, RTT
+    /// estimates — is lost and must be re-learnt from live traffic.
+    fn reset_port(&mut self, port: usize, rate: Bandwidth, now: Time, _fx: &mut PolicyFx) {
+        let engine = TokenEngine::new(rate, self.cfg);
+        let cap = engine.token_bytes();
+        let mut arbiter = DelayArbiter::with_fill_factor(rate, cap, self.cfg.rho0);
+        arbiter.set_gate_all(self.cfg.arbiter_gates_all);
+        let p = &mut self.ports[port];
+        p.engine = engine;
+        p.arbiter = arbiter;
+        // Invalidate outstanding miss timers (stale-generation check);
+        // an outstanding release timer fires harmlessly on the empty
+        // rebuilt arbiter.
+        p.miss_gen += 1;
+        p.miss_armed_at = now;
+        p.release_armed = false;
     }
 
     fn on_timer(&mut self, token: u64, now: Time, fx: &mut PolicyFx) {

@@ -71,7 +71,7 @@ fn continuous_load_queue(decouple: bool, n: usize, duration: Dur) -> (f64, u64, 
         .copied()
         .filter(|&(t, _)| t > horizon / 4)
         .collect();
-    let (_, max_q, _, _) = sim.core().port_stats(sw, port);
+    let max_q = sim.core().port_stats(sw, port).max_queue_bytes;
     let delivered: u64 = sim.core().flows().map(|(_, st)| st.delivered).sum();
     (
         mean_of(&late),

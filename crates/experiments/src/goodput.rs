@@ -149,7 +149,8 @@ pub fn run(cfg: &GoodputConfig) -> GoodputResult {
     let fair = 1e9 / 3.0 * (1460.0 / 1500.0);
     let convergence =
         convergence_time(&flows[2], Time(2 * j), fair, 0.2, 3).map(|t| t.since(Time(2 * j)));
-    let (_, max_q, drops, _) = sim.core().port_stats(nf1, port);
+    let stats = sim.core().port_stats(nf1, port);
+    let (max_q, drops) = (stats.max_queue_bytes, stats.drops);
     let loaded_start = 3 * j;
     let per_flow_means: Vec<f64> = flows
         .iter()

@@ -143,7 +143,8 @@ pub fn run(cfg: &IncastExpConfig) -> IncastExpResult {
     );
 
     let app = sim.app();
-    let (_, max_q, drops, _) = sim.core().port_stats(sw, port);
+    let stats = sim.core().port_stats(sw, port);
+    let (max_q, drops) = (stats.max_queue_bytes, stats.drops);
     let queue = trace_points(sim.core(), "queue");
     // For horizon-bounded runs goodput spans the whole horizon.
     let goodput_bps = if let Some(h) = cfg.horizon {

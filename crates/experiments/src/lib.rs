@@ -2,6 +2,7 @@
 pub mod ablations;
 pub mod artifacts;
 pub mod benchmark;
+pub mod faults;
 pub mod goodput;
 pub mod incast;
 pub mod ne;

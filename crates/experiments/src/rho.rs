@@ -118,7 +118,7 @@ fn run_point(cfg: &RhoConfig, rho0: f64) -> RhoPoint {
         .copied()
         .filter(|&(t, _)| t > horizon / 4)
         .collect();
-    let (_, max_q, _, _) = sim.core().port_stats(nf2, port);
+    let max_q = sim.core().port_stats(nf2, port).max_queue_bytes;
     RhoPoint {
         rho0,
         goodput_bps,

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::fault::FaultAction;
 use crate::packet::{NodeId, Packet};
 use crate::units::Time;
 
@@ -59,13 +60,18 @@ pub enum Event {
         /// The packet.
         pkt: Packet,
     },
+    /// A scripted fault takes effect (chaos timeline).
+    Fault {
+        /// The fault to apply.
+        action: FaultAction,
+    },
 }
 
 impl Event {
     /// Export names of the event kinds, indexed by
     /// [`kind_index`](Self::kind_index). The simulator hands this table
     /// to the telemetry layer for per-kind loop counters.
-    pub const KIND_NAMES: [&'static str; 7] = [
+    pub const KIND_NAMES: [&'static str; 8] = [
         "arrival",
         "tx_done",
         "host_timer",
@@ -73,6 +79,7 @@ impl Event {
         "app_timer",
         "sample",
         "nic_enqueue",
+        "fault",
     ];
 
     /// Dense index of this event's kind into [`Self::KIND_NAMES`].
@@ -85,6 +92,7 @@ impl Event {
             Event::AppTimer { .. } => 4,
             Event::Sample { .. } => 5,
             Event::NicEnqueue { .. } => 6,
+            Event::Fault { .. } => 7,
         }
     }
 }

@@ -36,6 +36,7 @@
 pub mod app;
 pub mod endpoint;
 pub mod event;
+pub mod fault;
 pub mod node;
 pub mod packet;
 pub mod policy;
@@ -47,6 +48,8 @@ pub mod units;
 
 pub use app::{Application, FlowEvent, NullApp};
 pub use endpoint::{Effects, FlowSpec, Note, ProtocolStack, ReceiverEndpoint, SenderEndpoint};
+pub use fault::FaultAction;
+pub use node::PortStats;
 pub use packet::{Flags, FlowId, NodeId, Packet, HEADER_BYTES, MIN_FRAME, MSS, WINDOW_INIT};
 pub use sim::{FlowState, SimApi, SimConfig, SimCore, Simulator};
 pub use topology::{Network, TopologyBuilder};

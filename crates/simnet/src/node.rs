@@ -33,6 +33,16 @@ pub struct Port {
     pub busy: bool,
     /// Total wire bytes transmitted out of this port.
     pub tx_bytes: u64,
+    /// Whether the attached link is up. A downed port accepts nothing
+    /// new; packets it finishes serialising (and packets propagating
+    /// toward it) are lost. Fault-injection state; `true` by default.
+    pub up: bool,
+    /// Drop probability of the active loss window, in permille
+    /// (0 = no loss window). Fault-injection state.
+    pub loss_permille: u16,
+    /// Packets lost to faults at this port (dead link, loss window,
+    /// stalled host) — separate from the FIFO's overflow drops.
+    pub fault_drops: u64,
 }
 
 impl Port {
@@ -43,8 +53,39 @@ impl Port {
             queue: PortQueue::new(capacity_bytes),
             busy: false,
             tx_bytes: 0,
+            up: true,
+            loss_permille: 0,
+            fault_drops: 0,
         }
     }
+
+    /// Snapshot of this port's counters.
+    pub fn stats(&self) -> PortStats {
+        PortStats {
+            queue_bytes: self.queue.bytes(),
+            max_queue_bytes: self.queue.max_bytes_seen(),
+            drops: self.queue.drops(),
+            tx_bytes: self.tx_bytes,
+            fault_drops: self.fault_drops,
+        }
+    }
+}
+
+/// A snapshot of one port's counters (see [`Port::stats`] and
+/// [`crate::sim::SimCore::port_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// Current FIFO backlog in bytes.
+    pub queue_bytes: u64,
+    /// Highest FIFO backlog ever observed, in bytes.
+    pub max_queue_bytes: u64,
+    /// Packets tail-dropped at the full FIFO.
+    pub drops: u64,
+    /// Total wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets lost to injected faults (dead link, loss window, stalled
+    /// host).
+    pub fault_drops: u64,
 }
 
 /// A switch: ports, a routing table, and a packet-processing policy.
@@ -90,6 +131,9 @@ pub struct Host {
     pub senders: BTreeMap<FlowId, Box<dyn SenderEndpoint>>,
     /// Receiver endpoints of flows terminating here.
     pub receivers: BTreeMap<FlowId, Box<dyn ReceiverEndpoint>>,
+    /// Whether the host is stalled by a fault: silent without FIN —
+    /// nothing leaves the NIC, arrivals are discarded, timers still run.
+    pub stalled: bool,
 }
 
 impl std::fmt::Debug for Host {
@@ -211,6 +255,7 @@ mod tests {
             nic: Port::new(link(0), 1_000),
             senders: Default::default(),
             receivers: Default::default(),
+            stalled: false,
         });
         let _ = host.port(1);
     }

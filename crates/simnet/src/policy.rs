@@ -5,7 +5,7 @@
 //! the same trait in the `tfc` crate.
 
 use crate::packet::{Flags, Packet};
-use crate::units::{Dur, Time};
+use crate::units::{Bandwidth, Dur, Time};
 
 /// Effects a policy can request from its switch.
 #[derive(Debug, Default)]
@@ -113,6 +113,16 @@ pub trait SwitchPolicy: Send {
     /// Handles a previously armed policy timer.
     fn on_timer(&mut self, token: u64, now: Time, fx: &mut PolicyFx) {
         let _ = (token, now, fx);
+    }
+
+    /// Wipes the policy's soft state for `port`, as after a control-plane
+    /// reboot (the `PolicyReset` fault). `rate` is the port's current
+    /// line rate, so a policy that sizes its state off the link (TFC's
+    /// token engine) rebuilds against post-renegotiation reality.
+    ///
+    /// Stateless policies need not override this.
+    fn reset_port(&mut self, port: usize, rate: Bandwidth, now: Time, fx: &mut PolicyFx) {
+        let _ = (port, rate, now, fx);
     }
 }
 

@@ -15,12 +15,18 @@ use telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 use crate::app::{Application, FlowEvent};
 use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
 use crate::event::{Event, EventQueue};
-use crate::node::Node;
+use crate::fault::FaultAction;
+use crate::node::{Node, PortStats};
 use crate::packet::{Flags, FlowId, NodeId, Packet};
 use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
 use crate::topology::Network;
 use crate::trace::{QueueSampler, TraceCenter};
 use crate::units::{Dur, Time};
+
+/// XOR tag deriving the fault RNG stream from the run seed, so loss-
+/// window draws never perturb the workload/jitter stream (same idiom as
+/// the telemetry sampling seed).
+const FAULT_RNG_TAG: u64 = 0xfa17_ca05_fa17_ca05;
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -126,6 +132,7 @@ pub struct SimCore {
     flows: BTreeMap<FlowId, FlowState>,
     next_flow: u64,
     rng: StdRng,
+    fault_rng: StdRng,
     trace: TraceCenter,
     samplers: Vec<QueueSampler>,
     pending_app: VecDeque<AppCall>,
@@ -237,21 +244,39 @@ impl SimCore {
 
     /// Closes an open-ended flow (FIN once pushed data is delivered).
     ///
-    /// # Panics
-    ///
-    /// Panics if the flow or its sender does not exist.
+    /// A no-op when the flow or its sender no longer exists (never
+    /// started, or already torn down) — closing twice is safe, so
+    /// workloads need not track liveness across faults.
     pub fn close_flow(&mut self, flow: FlowId) {
-        let src = self.flows[&flow].spec.src;
+        let Some(state) = self.flows.get(&flow) else {
+            return;
+        };
+        let src = state.spec.src;
         let now = self.now;
         let mut fx = Effects::new();
         let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
             unreachable!()
         };
-        h.senders
-            .get_mut(&flow)
-            .expect("sender exists")
-            .close(now, &mut fx);
+        let Some(s) = h.senders.get_mut(&flow) else {
+            return;
+        };
+        s.close(now, &mut fx);
         self.apply_host_fx(src, flow, fx);
+    }
+
+    /// Schedules a fault to take effect at simulated time `at` (clamped
+    /// to now). Identical seeds with identical fault timelines yield
+    /// byte-identical runs; see [`crate::fault`] for the taxonomy.
+    pub fn inject_fault(&mut self, at: Time, action: FaultAction) {
+        self.events
+            .schedule(at.max(self.now), Event::Fault { action });
+    }
+
+    /// Schedules every `(time, action)` pair of a fault timeline.
+    pub fn inject_faults(&mut self, plan: &[(Time, FaultAction)]) {
+        for &(at, action) in plan {
+            self.inject_fault(at, action);
+        }
     }
 
     /// Arms an application timer firing after `after`.
@@ -365,23 +390,16 @@ impl SimCore {
             .sum()
     }
 
-    /// Per-port statistics of a switch: `(queue_bytes, max_bytes, drops,
-    /// tx_bytes)`.
+    /// Per-port statistics of a switch.
     ///
     /// # Panics
     ///
     /// Panics if `node` is not a switch or `port` does not exist.
-    pub fn port_stats(&self, node: NodeId, port: usize) -> (u64, u64, u64, u64) {
+    pub fn port_stats(&self, node: NodeId, port: usize) -> PortStats {
         let Node::Switch(sw) = &self.nodes[node.0 as usize] else {
             panic!("{node:?} is not a switch");
         };
-        let p = &sw.ports[port];
-        (
-            p.queue.bytes(),
-            p.queue.max_bytes_seen(),
-            p.queue.drops(),
-            p.tx_bytes,
-        )
+        sw.ports[port].stats()
     }
 
     /// Egress port of `switch` toward host `dst`.
@@ -589,16 +607,31 @@ impl SimCore {
     fn dispatch_event(&mut self, ev: Event) {
         match ev {
             Event::NicEnqueue { node, pkt } => {
+                let n = &mut self.nodes[node.0 as usize];
+                if let Node::Host(h) = n {
+                    if h.stalled {
+                        // A stalled host emits nothing, silently.
+                        h.nic.fault_drops += 1;
+                        return;
+                    }
+                }
                 Self::enqueue_and_kick(
-                    &mut self.nodes[node.0 as usize],
+                    n,
                     0,
                     pkt,
                     self.now,
                     &mut self.events,
+                    &mut self.fault_rng,
                     &mut self.telemetry,
                 );
             }
             Event::Arrival { node, port, pkt } => {
+                if !self.nodes[node.0 as usize].port(port).up {
+                    // The packet propagated into a link that died under
+                    // it: lost without trace at the receiving end.
+                    self.record_fault_drop(node, port, &pkt);
+                    return;
+                }
                 self.log_packet(node, PacketEventKind::Arrival, &pkt);
                 match &self.nodes[node.0 as usize] {
                     Node::Switch(_) => self.switch_ingress(node, port, pkt),
@@ -644,25 +677,70 @@ impl SimCore {
                     self.events.schedule(next, Event::Sample { sampler });
                 }
             }
+            Event::Fault { action } => self.apply_fault(action),
         }
         self.events_processed += 1;
     }
 
+    /// Counts (and, with telemetry, records) a packet lost to a fault at
+    /// `node`'s `port`.
+    fn record_fault_drop(&mut self, node: NodeId, port: usize, pkt: &Packet) {
+        let wire = pkt.wire_bytes();
+        let (flow, seq) = (pkt.flow.0, pkt.seq);
+        self.nodes[node.0 as usize].port_mut(port).fault_drops += 1;
+        if self.telemetry.log.enabled() {
+            self.telemetry.log.record(
+                self.now.nanos(),
+                TraceEvent::PktDrop {
+                    node: node.0,
+                    port: port as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                },
+            );
+        }
+    }
+
     /// Enqueues `pkt` on `node`'s `port`, starting the transmitter if it
-    /// is idle. Drops (with accounting in the queue) on overflow.
-    /// Returns whether the packet was accepted.
+    /// is idle. Drops (with accounting in the queue) on overflow, and
+    /// loses the packet outright on a downed link or an active loss
+    /// window (fault accounting). Returns whether the packet was
+    /// accepted.
     fn enqueue_and_kick(
         node: &mut Node,
         port_idx: usize,
         pkt: Packet,
         now: Time,
         events: &mut EventQueue,
+        fault_rng: &mut StdRng,
         tel: &mut Telemetry,
     ) -> bool {
         let id = node.id();
         let port = node.port_mut(port_idx);
         let wire = pkt.wire_bytes();
         let meta = tel.log.enabled().then(|| (pkt.flow.0, pkt.seq));
+        // The fault RNG is only drawn inside an active loss window, so
+        // fault-free runs are byte-identical to pre-fault-layer ones.
+        let lost = !port.up
+            || (port.loss_permille > 0
+                && fault_rng.gen_range(0..1000u64) < port.loss_permille as u64);
+        if lost {
+            port.fault_drops += 1;
+            if let Some((flow, seq)) = meta {
+                tel.log.record(
+                    now.nanos(),
+                    TraceEvent::PktDrop {
+                        node: id.0,
+                        port: port_idx as u16,
+                        flow,
+                        seq,
+                        bytes: wire,
+                    },
+                );
+            }
+            return false;
+        }
         let accepted = port.queue.enqueue(pkt);
         if let Some((flow, seq)) = meta {
             let event = if accepted {
@@ -707,18 +785,34 @@ impl SimCore {
             .queue
             .dequeue()
             .expect("TxDone with empty queue: transmitter state corrupt");
-        port.tx_bytes += pkt.wire_bytes();
+        // A downed link keeps draining its FIFO at line rate, but every
+        // serialised packet falls into the void; the transmitter never
+        // stops, so no re-kick is needed when the link comes back.
+        let up = port.up;
+        if up {
+            port.tx_bytes += pkt.wire_bytes();
+        } else {
+            port.fault_drops += 1;
+        }
         if self.telemetry.log.enabled() {
-            self.telemetry.log.record(
-                now.nanos(),
+            let ev = if up {
                 TraceEvent::PktDequeue {
                     node: node.0,
                     port: port_idx as u16,
                     flow: pkt.flow.0,
                     seq: pkt.seq,
                     bytes: pkt.wire_bytes(),
-                },
-            );
+                }
+            } else {
+                TraceEvent::PktDrop {
+                    node: node.0,
+                    port: port_idx as u16,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                    bytes: pkt.wire_bytes(),
+                }
+            };
+            self.telemetry.log.record(now.nanos(), ev);
         }
         let link = port.link;
         let next_ser = if port.queue.is_empty() {
@@ -741,14 +835,16 @@ impl SimCore {
                 },
             );
         }
-        self.events.schedule(
-            now + link.delay,
-            Event::Arrival {
-                node: link.peer,
-                port: link.peer_port,
-                pkt,
-            },
-        );
+        if up {
+            self.events.schedule(
+                now + link.delay,
+                Event::Arrival {
+                    node: link.peer,
+                    port: link.peer_port,
+                    pkt,
+                },
+            );
+        }
     }
 
     fn switch_ingress(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
@@ -812,6 +908,7 @@ impl SimCore {
                 pkt,
                 now,
                 &mut self.events,
+                &mut self.fault_rng,
                 &mut self.telemetry,
             );
             if accepted {
@@ -864,9 +961,105 @@ impl SimCore {
         }
     }
 
+    /// Applies one fault action at the current time (the `Event::Fault`
+    /// handler). Link-level faults hit both ends of the full-duplex
+    /// link; every application is recorded as a `FaultInjected` or
+    /// `FaultCleared` telemetry event.
+    fn apply_fault(&mut self, action: FaultAction) {
+        let now = self.now;
+        match action {
+            FaultAction::LinkDown { node, port } => self.set_link_up(node, port, false),
+            FaultAction::LinkUp { node, port } => self.set_link_up(node, port, true),
+            FaultAction::LinkRate { node, port, rate } => {
+                // A packet mid-serialisation completes on its old
+                // schedule; the new rate applies from the next one.
+                let (peer, peer_port) = {
+                    let p = self.nodes[node.0 as usize].port_mut(port);
+                    p.link.rate = rate;
+                    (p.link.peer, p.link.peer_port)
+                };
+                self.nodes[peer.0 as usize].port_mut(peer_port).link.rate = rate;
+            }
+            FaultAction::LossWindow {
+                node,
+                port,
+                permille,
+            } => {
+                self.nodes[node.0 as usize].port_mut(port).loss_permille = permille.min(1000);
+            }
+            FaultAction::LossWindowEnd { node, port } => {
+                self.nodes[node.0 as usize].port_mut(port).loss_permille = 0;
+            }
+            FaultAction::PolicyReset { node, port } => {
+                let mut fx = PolicyFx::new();
+                {
+                    let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                        panic!("PolicyReset target {node:?} is not a switch");
+                    };
+                    let rate = sw.ports[port].link.rate;
+                    sw.policy.reset_port(port, rate, now, &mut fx);
+                }
+                self.apply_policy_fx(node, fx);
+            }
+            FaultAction::HostStall { node } => self.set_host_stalled(node, true),
+            FaultAction::HostResume { node } => self.set_host_stalled(node, false),
+        }
+        if self.telemetry.log.enabled() {
+            let (kind, node, port, value) = (
+                action.kind_label(),
+                action.node().0,
+                action.port() as u16,
+                action.value(),
+            );
+            let ev = if action.is_clear() {
+                TraceEvent::FaultCleared {
+                    kind,
+                    node,
+                    port,
+                    value,
+                }
+            } else {
+                TraceEvent::FaultInjected {
+                    kind,
+                    node,
+                    port,
+                    value,
+                }
+            };
+            self.telemetry.log.record(now.nanos(), ev);
+        }
+    }
+
+    /// Marks both ends of the link at `node`/`port` up or down.
+    fn set_link_up(&mut self, node: NodeId, port: usize, up: bool) {
+        let (peer, peer_port) = {
+            let p = self.nodes[node.0 as usize].port_mut(port);
+            p.up = up;
+            (p.link.peer, p.link.peer_port)
+        };
+        self.nodes[peer.0 as usize].port_mut(peer_port).up = up;
+    }
+
+    fn set_host_stalled(&mut self, node: NodeId, stalled: bool) {
+        let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+            panic!("host-stall target {node:?} is not a host");
+        };
+        h.stalled = stalled;
+    }
+
     fn host_receive(&mut self, node: NodeId, pkt: Packet) {
         let now = self.now;
         let flow = pkt.flow;
+        {
+            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            if h.stalled {
+                // A stalled host's endpoints see nothing.
+                h.nic.fault_drops += 1;
+                return;
+            }
+        }
         if self.telemetry.log.enabled() && pkt.flags.contains(Flags::ACK) {
             self.telemetry.log.record(
                 now.nanos(),
@@ -910,6 +1103,7 @@ impl<A: Application> Simulator<A> {
                 flows: BTreeMap::new(),
                 next_flow: 0,
                 rng: StdRng::seed_from_u64(cfg.seed),
+                fault_rng: StdRng::seed_from_u64(cfg.seed ^ FAULT_RNG_TAG),
                 trace: TraceCenter::new(),
                 samplers: Vec::new(),
                 pending_app: VecDeque::new(),
@@ -1007,6 +1201,11 @@ impl<'a> SimApi<'a> {
     /// Closes an open-ended flow; see [`SimCore::close_flow`].
     pub fn close_flow(&mut self, flow: FlowId) {
         self.core.close_flow(flow)
+    }
+
+    /// Schedules a fault; see [`SimCore::inject_fault`].
+    pub fn inject_fault(&mut self, at: Time, action: FaultAction) {
+        self.core.inject_fault(at, action)
     }
 
     /// Arms an application timer after `after`.

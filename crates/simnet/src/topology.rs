@@ -240,6 +240,7 @@ impl TopologyBuilder {
                         nic: Port::new(link, host_buf),
                         senders: Default::default(),
                         receivers: Default::default(),
+                        stalled: false,
                     }));
                 }
                 NodeKind::Switch => {

@@ -17,7 +17,7 @@ use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
 
 /// Number of distinct [`TraceEvent`] kinds.
-pub const EVENT_KIND_COUNT: usize = 14;
+pub const EVENT_KIND_COUNT: usize = 16;
 
 /// Kind names, indexed by [`TraceEvent::kind_index`]. These are the
 /// `kind` strings written to `events.json` and the keys of the exported
@@ -37,6 +37,8 @@ pub const EVENT_KIND_NAMES: [&str; EVENT_KIND_COUNT] = [
     "flow_rto",
     "flow_fin",
     "flow_rtt_sample",
+    "fault_injected",
+    "fault_cleared",
 ];
 
 /// One structured telemetry event.
@@ -174,6 +176,31 @@ pub enum TraceEvent {
         /// Measured RTT in nanoseconds.
         nanos: u64,
     },
+    /// A chaos fault took effect (link down, host stall, loss window,
+    /// rate change, policy reset, ...).
+    FaultInjected {
+        /// Stable fault-kind label (e.g. `"link_down"`, `"host_stall"`).
+        kind: &'static str,
+        /// Node the fault applies to (host or switch).
+        node: u32,
+        /// Port at that node (0 for node-wide faults).
+        port: u16,
+        /// Kind-specific magnitude: new rate in bps for rate changes,
+        /// loss probability in permille for loss windows, 0 otherwise.
+        value: u64,
+    },
+    /// A previously injected fault was lifted (link up, host resume,
+    /// loss window end, ...).
+    FaultCleared {
+        /// Stable fault-kind label matching the injection.
+        kind: &'static str,
+        /// Node the fault applied to.
+        node: u32,
+        /// Port at that node (0 for node-wide faults).
+        port: u16,
+        /// Kind-specific magnitude (see [`TraceEvent::FaultInjected`]).
+        value: u64,
+    },
 }
 
 impl TraceEvent {
@@ -194,6 +221,8 @@ impl TraceEvent {
             TraceEvent::FlowRto { .. } => 11,
             TraceEvent::FlowFin { .. } => 12,
             TraceEvent::FlowRttSample { .. } => 13,
+            TraceEvent::FaultInjected { .. } => 14,
+            TraceEvent::FaultCleared { .. } => 15,
         }
     }
 
@@ -208,7 +237,7 @@ impl TraceEvent {
         self.kind_index() <= 6
     }
 
-    /// The flow involved.
+    /// The flow involved (0 for flow-less events such as faults).
     pub fn flow(&self) -> u64 {
         match *self {
             TraceEvent::PktEnqueue { flow, .. }
@@ -225,6 +254,7 @@ impl TraceEvent {
             | TraceEvent::FlowRto { flow }
             | TraceEvent::FlowFin { flow, .. }
             | TraceEvent::FlowRttSample { flow, .. } => flow,
+            TraceEvent::FaultInjected { .. } | TraceEvent::FaultCleared { .. } => 0,
         }
     }
 }
@@ -435,12 +465,26 @@ mod tests {
                 delivered: 10,
             },
             TraceEvent::FlowRttSample { flow: 1, nanos: 99 },
+            TraceEvent::FaultInjected {
+                kind: "link_down",
+                node: 9,
+                port: 2,
+                value: 0,
+            },
+            TraceEvent::FaultCleared {
+                kind: "link_down",
+                node: 9,
+                port: 2,
+                value: 0,
+            },
         ];
         assert_eq!(samples.len(), EVENT_KIND_COUNT);
         for (i, ev) in samples.iter().enumerate() {
             assert_eq!(ev.kind_index(), i);
             assert_eq!(ev.kind_name(), EVENT_KIND_NAMES[i]);
-            assert_eq!(ev.flow(), 1);
+            // Fault events carry no flow; everything else was built with
+            // flow 1.
+            assert_eq!(ev.flow(), if i < 14 { 1 } else { 0 });
             assert_eq!(ev.is_packet(), i <= 6);
         }
     }

@@ -223,6 +223,23 @@ pub fn record_json(r: &EventRecord) -> Value {
             put("flow", flow.into());
             put("nanos", nanos.into());
         }
+        TraceEvent::FaultInjected {
+            kind,
+            node,
+            port,
+            value,
+        }
+        | TraceEvent::FaultCleared {
+            kind,
+            node,
+            port,
+            value,
+        } => {
+            put("fault", kind.into());
+            put("node", node.into());
+            put("port", port.into());
+            put("value", value.into());
+        }
     }
     Value::Object(m)
 }

@@ -52,7 +52,8 @@ fn main() {
         );
     }
     let port = sim.core().route_of(switch, receiver).expect("route");
-    let (_, max_q, drops, _) = sim.core().port_stats(switch, port);
+    let stats = sim.core().port_stats(switch, port);
+    let (max_q, drops) = (stats.max_queue_bytes, stats.drops);
     println!("  bottleneck: max queue {max_q} bytes, {drops} drops");
     assert_eq!(drops, 0, "TFC must not drop packets");
 }

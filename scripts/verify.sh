@@ -24,4 +24,13 @@ trap 'rm -rf "$TRACE_DIR"' EXIT
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --smoke
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-incast" >/dev/null
 
+# Chaos smoke: fixed-seed link-flap + host-stall runs export fault
+# telemetry, and tfc-trace renders the recovery summary (fault windows,
+# goodput dip, token reclamation) from the artifacts alone.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --chaos-smoke
+# (plain grep, not -q: -q closes the pipe at first match and the
+# still-printing tracer dies of SIGPIPE under pipefail)
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-flap" | grep "tokens reclaimed" >/dev/null
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-stall" | grep "fault windows:" >/dev/null
+
 echo "verify: OK"

@@ -89,7 +89,8 @@ fn tfc_keeps_bottleneck_queue_tiny() {
     let sw = sim.core().switch_ids()[0];
     let dst = sim.core().flow(f2).spec.dst;
     let port = sim.core().route_of(sw, dst).expect("route");
-    let (_, max_q, drops, _) = sim.core().port_stats(sw, port);
+    let stats = sim.core().port_stats(sw, port);
+    let (max_q, drops) = (stats.max_queue_bytes, stats.drops);
     assert_eq!(drops, 0);
     // The very first slot runs on the initial 160 µs token against a
     // ~29 µs pipe, so a bounded startup spike is expected; it must stay
@@ -106,10 +107,10 @@ fn tcp_fills_buffer_tfc_does_not() {
     let sw = tcp_sim.core().switch_ids()[0];
     let dst = tcp_sim.core().flow(f2).spec.dst;
     let port = tcp_sim.core().route_of(sw, dst).expect("route");
-    let (_, tcp_max_q, _, _) = tcp_sim.core().port_stats(sw, port);
+    let tcp_max_q = tcp_sim.core().port_stats(sw, port).max_queue_bytes;
 
     let (tfc_sim, _, _) = run_two_flows(Box::new(TfcStack::default()), "tfc");
-    let (_, tfc_max_q, _, _) = tfc_sim.core().port_stats(sw, port);
+    let tfc_max_q = tfc_sim.core().port_stats(sw, port).max_queue_bytes;
     assert!(
         tfc_max_q * 4 < tcp_max_q.max(1),
         "TFC queue ({tfc_max_q}) should be far below TCP's ({tcp_max_q})"

@@ -6,13 +6,16 @@ use rng::props::{cases, vec_u64};
 use rng::Rng;
 use simnet::app::NullApp;
 use simnet::endpoint::{FlowSpec, ProtocolStack};
+use simnet::fault::FaultAction;
 use simnet::policy::{DropTail, EcnMark};
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::{star, testbed};
 use simnet::units::{Bandwidth, Dur, Time};
+use telemetry::{LogMode, TelemetryConfig};
 use tfc::config::TfcSwitchConfig;
 use tfc::{TfcStack, TfcSwitchPolicy};
 use transport::{DctcpStack, TcpStack};
+use workloads::{OnOffApp, OnOffFlow};
 
 #[derive(Debug, Clone, Copy)]
 enum Which {
@@ -130,6 +133,80 @@ fn tfc_never_drops_on_clean_fabric() {
                 "flow {f:?} incomplete (seed {seed}, sizes {sizes:?})"
             );
         }
+    });
+}
+
+/// §4.3: when a host stalls without FIN, the TFC bottleneck port's rho
+/// counter notices the silence and counts the flow out of E within two
+/// slot closes, so its tokens return to the pool — whatever the seed.
+#[test]
+fn tfc_reclaims_stalled_flow_tokens_within_two_slots() {
+    cases(8, |_case, rng| {
+        let seed = rng.gen_range(0..1_000u64);
+        let n = 5;
+        let horizon = Dur::millis(30).as_nanos();
+        let fault_ns = Dur::millis(10).as_nanos();
+        let (t, hosts, sw) = star(n, Bandwidth::gbps(1), Dur::nanos(500));
+        let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+        let flows: Vec<OnOffFlow> = hosts[..n - 1]
+            .iter()
+            .map(|&src| OnOffFlow {
+                src,
+                dst: hosts[n - 1],
+                active: vec![(0, horizon)],
+            })
+            .collect();
+        let mut sim = Simulator::new(
+            net,
+            Box::new(TfcStack::default()),
+            OnOffApp::new(flows, 128 * 1024),
+            SimConfig {
+                seed,
+                end: Some(Time(horizon)),
+                telemetry: TelemetryConfig {
+                    events: LogMode::Off,
+                    sample_one_in: 1,
+                    tfc_gauges: true,
+                    profile: false,
+                    export: None,
+                },
+                ..Default::default()
+            },
+        );
+        sim.core_mut()
+            .inject_fault(Time(fault_ns), FaultAction::HostStall { node: hosts[0] });
+        let port = sim.core().route_of(sw, hosts[n - 1]).expect("route");
+        sim.run();
+        let series: Vec<(u64, f64)> = sim
+            .core()
+            .telemetry()
+            .slots
+            .iter()
+            .filter(|sl| sl.node == sw.0 && sl.port as usize == port)
+            .map(|sl| (sl.at_ns, sl.effective_flows))
+            .collect();
+        let e_before = series
+            .iter()
+            .take_while(|&&(at, _)| at < fault_ns)
+            .last()
+            .map(|&(_, e)| e)
+            .expect("pre-fault slot samples");
+        assert!(
+            e_before > 3.5,
+            "seed {seed}: expected ~4 effective flows pre-fault, E = {e_before:.2}"
+        );
+        // Close 1 may still count the victim (it sent early in the
+        // slot); by close 2 a full silent slot has elapsed.
+        let after: Vec<f64> = series
+            .iter()
+            .filter(|&&(at, _)| at >= fault_ns)
+            .map(|&(_, e)| e)
+            .take(2)
+            .collect();
+        assert!(
+            after.last().is_some_and(|&e| e <= e_before - 0.5),
+            "seed {seed}: E {e_before:.2} -> {after:?} within two slot closes"
+        );
     });
 }
 
