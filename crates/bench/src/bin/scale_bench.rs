@@ -1,0 +1,285 @@
+//! `tfc-scale-bench`: the simulation-core scale suite.
+//!
+//! Runs three scenarios — the paper's 360-host leaf-spine at 10 Gbps
+//! edge links, a wide incast fan-in, and a chaos fault timeline — once
+//! under the reference binary-heap scheduler and once under the timing
+//! wheel. For each, it checks the two backends produced *identical*
+//! simulations (same event count, same delivered bytes) and records
+//! wall-clock events/sec for both, writing
+//! `results/bench/BENCH_scale.json`.
+//!
+//! `--quick` shortens every horizon for CI smoke use (`scripts/verify.sh`).
+
+use std::time::Instant;
+
+use chaos::FaultTimeline;
+use rng::seq::SliceRandom;
+use rng::{Rng, SeedableRng};
+use simnet::app::NullApp;
+use simnet::endpoint::FlowSpec;
+use simnet::sim::{SimConfig, Simulator};
+use simnet::topology::{leaf_spine, star};
+use simnet::units::{Bandwidth, Dur, Time};
+use simnet::SchedulerKind;
+use telemetry::export::{git_describe, results_dir};
+use telemetry::json::{self, Value};
+
+/// One scenario, parameterized only by the scheduler backend.
+struct Scenario {
+    name: &'static str,
+    hosts: usize,
+    flows: usize,
+    sim_ms: u64,
+    run: Box<dyn Fn(SchedulerKind) -> (u64, u64)>,
+}
+
+/// Backend-agnostic run outcome used for the cross-backend identity
+/// check: `(events_processed, total delivered bytes)`.
+fn outcome<A: simnet::app::Application>(sim: &Simulator<A>) -> (u64, u64) {
+    (
+        sim.core().events_processed(),
+        sim.core().flows().map(|(_, st)| st.delivered).sum(),
+    )
+}
+
+fn cfg(kind: SchedulerKind, end_ms: u64) -> SimConfig {
+    SimConfig {
+        end: Some(Time(Dur::millis(end_ms).as_nanos())),
+        scheduler: kind,
+        ..Default::default()
+    }
+}
+
+/// The paper's §6.2.2 fabric scaled to 10 Gbps edges: 18 leaves × 20
+/// hosts, 40 Gbps uplinks, a dense random flow matrix.
+fn leaf_spine_360(sim_ms: u64, flows: usize) -> Scenario {
+    Scenario {
+        name: "leaf_spine_360",
+        hosts: 360,
+        flows,
+        sim_ms,
+        run: Box::new(move |kind| {
+            let (t, hosts, _) = leaf_spine(
+                18,
+                20,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(40),
+                Dur::micros(20),
+            );
+            let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(tfc::TfcStack::default()),
+                NullApp,
+                cfg(kind, sim_ms),
+            );
+            let mut rng = rng::rngs::StdRng::seed_from_u64(2024);
+            for _ in 0..flows {
+                let src = *hosts.choose(&mut rng).expect("hosts");
+                let mut dst = *hosts.choose(&mut rng).expect("hosts");
+                while dst == src {
+                    dst = *hosts.choose(&mut rng).expect("hosts");
+                }
+                let bytes = rng.gen_range(20_000u64..2_000_000);
+                sim.core_mut().start_flow(FlowSpec::sized(src, dst, bytes));
+            }
+            sim.run();
+            outcome(&sim)
+        }),
+    }
+}
+
+/// Wide fan-in: every spoke of a 10 Gbps star fires at one receiver.
+fn incast_fanin(sim_ms: u64, senders: usize) -> Scenario {
+    Scenario {
+        name: "incast_fanin",
+        hosts: senders + 1,
+        flows: senders,
+        sim_ms,
+        run: Box::new(move |kind| {
+            let (t, hosts, _) = star(senders + 1, Bandwidth::gbps(10), Dur::micros(10));
+            let receiver = hosts[0];
+            let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(tfc::TfcStack::default()),
+                NullApp,
+                cfg(kind, sim_ms),
+            );
+            for (i, &src) in hosts[1..].iter().enumerate() {
+                sim.core_mut().start_flow(FlowSpec::sized(
+                    src,
+                    receiver,
+                    400_000 + 4_000 * i as u64,
+                ));
+            }
+            sim.run();
+            outcome(&sim)
+        }),
+    }
+}
+
+/// Chaos timeline on a 48-host leaf-spine: flaps, stalls, loss bursts,
+/// and a policy reset while a random matrix runs.
+fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
+    Scenario {
+        name: "chaos_leaf_spine",
+        hosts: 48,
+        flows,
+        sim_ms,
+        run: Box::new(move |kind| {
+            let (t, hosts, switches) = leaf_spine(
+                6,
+                8,
+                Bandwidth::gbps(1),
+                Bandwidth::gbps(10),
+                Dur::micros(20),
+            );
+            let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(tfc::TfcStack::default()),
+                NullApp,
+                cfg(kind, sim_ms),
+            );
+            for i in 0..flows {
+                let src = hosts[i % hosts.len()];
+                let dst = hosts[(i + 13) % hosts.len()];
+                sim.core_mut()
+                    .start_flow(FlowSpec::sized(src, dst, 100_000 + 777 * i as u64));
+            }
+            let leaf = switches[1];
+            FaultTimeline::new()
+                .link_flap(Time(2_000_000), Dur::millis(1), leaf, 0)
+                .host_stall(Time(5_000_000), Dur::millis(3), hosts[5])
+                .loss_burst(Time(9_000_000), Dur::millis(1), leaf, 2, 250)
+                .policy_reset(Time(12_000_000), leaf, 3)
+                .install(sim.core_mut());
+            sim.run();
+            outcome(&sim)
+        }),
+    }
+}
+
+struct Row {
+    name: &'static str,
+    hosts: usize,
+    flows: usize,
+    sim_ms: u64,
+    events: u64,
+    heap_wall_ms: f64,
+    wheel_wall_ms: f64,
+    heap_events_per_sec: f64,
+    wheel_events_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench(s: &Scenario) -> Row {
+    let timed = |kind| {
+        let t0 = Instant::now();
+        let out = (s.run)(kind);
+        (out, t0.elapsed().as_secs_f64())
+    };
+    let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap);
+    let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel);
+    assert_eq!(
+        heap_out, wheel_out,
+        "{}: backends diverged (events, delivered)",
+        s.name
+    );
+    let events = heap_out.0;
+    Row {
+        name: s.name,
+        hosts: s.hosts,
+        flows: s.flows,
+        sim_ms: s.sim_ms,
+        events,
+        heap_wall_ms: heap_secs * 1e3,
+        wheel_wall_ms: wheel_secs * 1e3,
+        heap_events_per_sec: events as f64 / heap_secs,
+        wheel_events_per_sec: events as f64 / wheel_secs,
+        speedup: heap_secs / wheel_secs,
+    }
+}
+
+fn row_json(r: &Row) -> Value {
+    telemetry::json!({
+        "name": r.name,
+        "hosts": r.hosts as u64,
+        "flows": r.flows as u64,
+        "sim_ms": r.sim_ms,
+        "events": r.events,
+        "heap_wall_ms": r.heap_wall_ms,
+        "wheel_wall_ms": r.wheel_wall_ms,
+        "heap_events_per_sec": r.heap_events_per_sec,
+        "wheel_events_per_sec": r.wheel_events_per_sec,
+        "speedup": r.speedup,
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenarios = if quick {
+        vec![
+            leaf_spine_360(5, 300),
+            incast_fanin(5, 40),
+            chaos_leaf_spine(15, 24),
+        ]
+    } else {
+        vec![
+            leaf_spine_360(60, 1200),
+            incast_fanin(40, 120),
+            chaos_leaf_spine(100, 48),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        eprintln!("running {} ({} hosts, {} flows, {} ms)...", s.name, s.hosts, s.flows, s.sim_ms);
+        let row = bench(s);
+        eprintln!(
+            "  {} events; heap {:.0} ev/s, wheel {:.0} ev/s, speedup {:.2}x",
+            row.events, row.heap_events_per_sec, row.wheel_events_per_sec, row.speedup
+        );
+        rows.push(row);
+    }
+
+    let leaf_speedup = rows
+        .iter()
+        .find(|r| r.name == "leaf_spine_360")
+        .map(|r| r.speedup)
+        .expect("leaf-spine scenario present");
+    let doc = telemetry::json!({
+        "schema": "tfc-bench-scale/v1",
+        "mode": if quick { "quick" } else { "full" },
+        "git": git_describe().as_str(),
+        "scenarios": Value::Array(rows.iter().map(row_json).collect()),
+        "leaf_spine_speedup": leaf_speedup,
+    });
+
+    let dir = results_dir().join("bench");
+    std::fs::create_dir_all(&dir).expect("create results/bench");
+    let path = dir.join("BENCH_scale.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_scale.json");
+
+    // Self-validate: the written file must parse back with the expected
+    // schema and sane numbers.
+    let parsed = json::parse(&std::fs::read_to_string(&path).expect("read back"))
+        .expect("BENCH_scale.json parses");
+    assert_eq!(
+        parsed.get("schema").and_then(Value::as_str),
+        Some("tfc-bench-scale/v1")
+    );
+    let scen = parsed
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .expect("scenarios array");
+    assert!(!scen.is_empty(), "no scenarios recorded");
+    for s in scen {
+        for key in ["heap_events_per_sec", "wheel_events_per_sec"] {
+            let v = s.get(key).and_then(Value::as_f64).expect("rate present");
+            assert!(v > 0.0, "{key} must be positive");
+        }
+    }
+    println!("{}", path.display());
+}

@@ -128,14 +128,20 @@ impl TfcSender {
     }
 
     fn arm_timer(&mut self, fx: &mut Effects) {
+        if self.timer_armed {
+            fx.cancel_timer(self.timer_gen);
+        }
         self.timer_gen += 1;
         self.timer_armed = true;
         fx.timer(self.est.rto(), self.timer_gen);
     }
 
-    fn disarm_timer(&mut self) {
+    fn disarm_timer(&mut self, fx: &mut Effects) {
+        if self.timer_armed {
+            fx.cancel_timer(self.timer_gen);
+        }
         self.timer_armed = false;
-        self.timer_gen += 1;
+        self.timer_gen += 1; // invalidate a pending RTO that outran the cancel
     }
 
     fn emit_syn(&mut self, fx: &mut Effects) {
@@ -284,7 +290,7 @@ impl SenderEndpoint for TfcSender {
         if pkt.flags.contains(Flags::SYN) && pkt.flags.contains(Flags::ACK) {
             if self.state == State::SynSent {
                 self.state = State::WindowAcq;
-                self.disarm_timer();
+                self.disarm_timer(fx);
                 fx.note(Note::Established);
                 // Window-acquisition phase (§4.6): fetch the first window
                 // with a zero-payload marked packet. Deferred until the
@@ -347,14 +353,14 @@ impl SenderEndpoint for TfcSender {
             }
             if self.fin_sent && self.snd_una > self.pushed && !self.done_noted {
                 self.done_noted = true;
-                self.disarm_timer();
+                self.disarm_timer(fx);
                 fx.note(Note::SenderDone);
                 return;
             }
             if self.outstanding() > 0 {
                 self.arm_timer(fx);
             } else {
-                self.disarm_timer();
+                self.disarm_timer(fx);
             }
         } else if ack == self.snd_una && self.outstanding() > 0 && pkt.flags.contains(Flags::RMA) {
             // RMA for a probe or a re-marked head; not a dup-ACK signal.

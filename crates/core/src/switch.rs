@@ -88,6 +88,10 @@ impl TfcSwitchPolicy {
 
     fn arm_miss_timer(&mut self, port: usize, now: Time, fx: &mut PolicyFx) {
         let p = &mut self.ports[port];
+        if p.miss_gen > 0 {
+            // Best-effort: a no-op if that generation already fired.
+            fx.cancel_timer(encode_token(KIND_MISS, port, p.miss_gen));
+        }
         p.miss_gen += 1;
         p.miss_armed_at = now;
         fx.timer(
@@ -206,7 +210,7 @@ impl SwitchPolicy for TfcSwitchPolicy {
     /// port's current line rate, exactly as at construction. All learnt
     /// state — token pool, effective-flow count, rho, delimiter, RTT
     /// estimates — is lost and must be re-learnt from live traffic.
-    fn reset_port(&mut self, port: usize, rate: Bandwidth, now: Time, _fx: &mut PolicyFx) {
+    fn reset_port(&mut self, port: usize, rate: Bandwidth, now: Time, fx: &mut PolicyFx) {
         let engine = TokenEngine::new(rate, self.cfg);
         let cap = engine.token_bytes();
         let mut arbiter = DelayArbiter::with_fill_factor(rate, cap, self.cfg.rho0);
@@ -214,11 +218,18 @@ impl SwitchPolicy for TfcSwitchPolicy {
         let p = &mut self.ports[port];
         p.engine = engine;
         p.arbiter = arbiter;
-        // Invalidate outstanding miss timers (stale-generation check);
-        // an outstanding release timer fires harmlessly on the empty
-        // rebuilt arbiter.
+        // Cancel (best-effort) and invalidate outstanding timers; the
+        // stale-generation check on the miss timer remains the source of
+        // truth, and a release timer that outruns the cancel fires
+        // harmlessly on the empty rebuilt arbiter.
+        if p.miss_gen > 0 {
+            fx.cancel_timer(encode_token(KIND_MISS, port, p.miss_gen));
+        }
         p.miss_gen += 1;
         p.miss_armed_at = now;
+        if p.release_armed {
+            fx.cancel_timer(encode_token(KIND_RELEASE, port, 0));
+        }
         p.release_armed = false;
     }
 

@@ -158,6 +158,7 @@ pub fn run(cfg: &BenchExpConfig) -> BenchResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     sim.run();

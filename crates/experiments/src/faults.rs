@@ -206,6 +206,7 @@ pub fn run(cfg: &FaultsConfig) -> FaultsResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     let port = sim.core().route_of(sw, receiver).expect("route to receiver");

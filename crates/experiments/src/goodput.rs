@@ -123,6 +123,7 @@ pub fn run(cfg: &GoodputConfig) -> GoodputResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     let nf1 = switches[1];

@@ -131,6 +131,7 @@ pub fn run(cfg: &IncastExpConfig) -> IncastExpResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     let port = sim.core().route_of(sw, receiver).expect("downlink");

@@ -137,6 +137,7 @@ pub fn run(cfg: &NeConfig) -> NeResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     sim.run();

@@ -95,6 +95,7 @@ fn run_point(cfg: &RhoConfig, rho0: f64) -> RhoPoint {
             host_jitter: None,
             packet_log: 0,
             telemetry,
+            ..Default::default()
         },
     );
     let nf2 = switches[2];

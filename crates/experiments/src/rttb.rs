@@ -153,6 +153,7 @@ pub fn run(cfg: &RttbConfig) -> RttbResult {
             host_jitter: Some(cfg.jitter),
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     sim.run();

@@ -121,6 +121,7 @@ pub fn run(cfg: &WorkConservingConfig) -> WorkConservingResult {
             host_jitter: None,
             packet_log: 0,
             telemetry: cfg.telemetry.clone(),
+            ..Default::default()
         },
     );
     let (s1, s2) = (switches[0], switches[1]);

@@ -17,6 +17,12 @@ pub struct Effects {
     pub packets: Vec<Packet>,
     /// Timers to arm: fire after `Dur` with the given token.
     pub timers: Vec<(Dur, u64)>,
+    /// Tokens of previously armed timers to cancel. Best-effort: a
+    /// token with no pending timer is ignored, so endpoints keep their
+    /// stale-generation checks as the source of truth and cancellation
+    /// only spares the scheduler dead entries. Cancels are applied
+    /// before this effect set's own `timers`.
+    pub cancels: Vec<u64>,
     /// Upcalls for the simulator / application layer.
     pub notes: Vec<Note>,
 }
@@ -37,6 +43,11 @@ impl Effects {
         self.timers.push((after, token));
     }
 
+    /// Cancels the pending timer carrying `token`, if any.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.cancels.push(token);
+    }
+
     /// Emits an upcall note.
     pub fn note(&mut self, n: Note) {
         self.notes.push(n);
@@ -44,7 +55,10 @@ impl Effects {
 
     /// Whether no effect was produced.
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty() && self.timers.is_empty() && self.notes.is_empty()
+        self.packets.is_empty()
+            && self.timers.is_empty()
+            && self.cancels.is_empty()
+            && self.notes.is_empty()
     }
 }
 

@@ -1,11 +1,12 @@
-//! The discrete-event queue.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! Simulation event kinds.
+//!
+//! The queue that orders them lives in [`crate::sched`]; the historical
+//! `event::EventQueue` path is preserved via re-export.
 
 use crate::fault::FaultAction;
 use crate::packet::{NodeId, Packet};
-use crate::units::Time;
+
+pub use crate::sched::{EventQueue, SchedulerKind, TimerHandle};
 
 /// A scheduled simulation event.
 #[derive(Debug, Clone)]
@@ -94,177 +95,5 @@ impl Event {
             Event::NicEnqueue { .. } => 6,
             Event::Fault { .. } => 7,
         }
-    }
-}
-
-/// An event plus its activation time and a tie-breaking sequence number.
-#[derive(Debug)]
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event.
-        // Ties break by insertion order for determinism.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// A deterministic min-heap of timestamped events.
-///
-/// Events popped at equal timestamps come out in insertion order, which
-/// makes every simulation run bit-reproducible for a given seed.
-///
-/// # Examples
-///
-/// ```
-/// use tfc_simnet::event::{Event, EventQueue};
-/// use tfc_simnet::units::Time;
-///
-/// let mut q = EventQueue::new();
-/// q.schedule(Time(20), Event::AppTimer { token: 2 });
-/// q.schedule(Time(10), Event::AppTimer { token: 1 });
-/// let (t, ev) = q.pop().unwrap();
-/// assert_eq!(t, Time(10));
-/// matches!(ev, Event::AppTimer { token: 1 });
-/// ```
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
-}
-
-impl EventQueue {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Schedules `event` at absolute time `at`.
-    pub fn schedule(&mut self, at: Time, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
-    }
-
-    /// Pops the earliest event, or `None` when empty.
-    pub fn pop(&mut self) -> Option<(Time, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
-    }
-
-    /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.at)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether no events are pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rng::props::{cases, vec_u64};
-    use rng::Rng;
-
-    fn token_of(ev: &Event) -> u64 {
-        match ev {
-            Event::AppTimer { token } => *token,
-            _ => panic!("unexpected event"),
-        }
-    }
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Time(30), Event::AppTimer { token: 3 });
-        q.schedule(Time(10), Event::AppTimer { token: 1 });
-        q.schedule(Time(20), Event::AppTimer { token: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| token_of(&e))
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn equal_times_pop_in_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(Time(5), Event::AppTimer { token: i });
-        }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| token_of(&e))
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.schedule(Time(7), Event::AppTimer { token: 0 });
-        assert_eq!(q.peek_time(), Some(Time(7)));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn total_order_is_respected() {
-        cases(128, |_case, rng| {
-            let times = vec_u64(rng, 1..200, 0..1_000);
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.schedule(Time(t), Event::AppTimer { token: i as u64 });
-            }
-            let mut last = Time(0);
-            let mut popped = 0;
-            while let Some((t, _)) = q.pop() {
-                assert!(t >= last, "popped {t:?} after {last:?} for {times:?}");
-                last = t;
-                popped += 1;
-            }
-            assert_eq!(popped, times.len());
-        });
-    }
-
-    #[test]
-    fn stable_for_equal_timestamps() {
-        cases(128, |_case, rng| {
-            let n = rng.gen_range(1..100usize);
-            let mut q = EventQueue::new();
-            for i in 0..n {
-                q.schedule(Time(42), Event::AppTimer { token: i as u64 });
-            }
-            let mut expect = 0u64;
-            while let Some((_, ev)) = q.pop() {
-                assert_eq!(token_of(&ev), expect, "n = {n}");
-                expect += 1;
-            }
-        });
     }
 }

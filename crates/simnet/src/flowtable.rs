@@ -1,0 +1,135 @@
+//! Dense per-flow tables indexed by [`FlowId`].
+//!
+//! Flow ids are allocated sequentially from zero and never recycled, so
+//! every per-flow table in the hot path can be a slab vector indexed by
+//! `FlowId` instead of an ordered map: O(1) lookup, no pointer chasing,
+//! and iteration stays in id order (which the artifact exporters rely
+//! on).
+
+use crate::packet::FlowId;
+
+/// A slab keyed by [`FlowId`]: `Vec<Option<T>>` with O(1) access and
+/// id-ordered iteration. Suited to tables that hold a sparse subset of
+/// the simulation's flows, like a host's sender/receiver endpoints.
+#[derive(Debug)]
+pub struct FlowMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for FlowMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlowMap<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared access to the entry for `id`.
+    pub fn get(&self, id: FlowId) -> Option<&T> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry for `id`.
+    pub fn get_mut(&mut self, id: FlowId) -> Option<&mut T> {
+        self.slots.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Whether `id` has an entry.
+    pub fn contains(&self, id: FlowId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Inserts a value for `id`, growing the slab as needed. Returns
+    /// the previous value, if any.
+    pub fn insert(&mut self, id: FlowId, value: T) -> Option<T> {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry for `id`, if any.
+    pub fn remove(&mut self, id: FlowId) -> Option<T> {
+        let old = self.slots.get_mut(id.0 as usize).and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterates entries in flow-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (FlowId(i as u64), v)))
+    }
+
+    /// Iterates entries mutably in flow-id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FlowId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_mut().map(|v| (FlowId(i as u64), v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(FlowId(3), 30), None);
+        assert_eq!(m.insert(FlowId(0), 0), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(FlowId(3)), Some(&30));
+        assert_eq!(m.get(FlowId(1)), None, "hole in the slab");
+        assert_eq!(m.get(FlowId(999)), None, "beyond the slab");
+        assert_eq!(m.insert(FlowId(3), 31), Some(30), "replace keeps len");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(FlowId(3)), Some(31));
+        assert_eq!(m.remove(FlowId(3)), None);
+        assert_eq!(m.remove(FlowId(999)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iterates_in_id_order() {
+        let mut m: FlowMap<&str> = FlowMap::new();
+        m.insert(FlowId(5), "e");
+        m.insert(FlowId(1), "b");
+        m.insert(FlowId(9), "j");
+        let got: Vec<(u64, &str)> = m.iter().map(|(id, v)| (id.0, *v)).collect();
+        assert_eq!(got, vec![(1, "b"), (5, "e"), (9, "j")]);
+        for (_, v) in m.iter_mut() {
+            *v = "x";
+        }
+        assert!(m.iter().all(|(_, v)| *v == "x"));
+    }
+}

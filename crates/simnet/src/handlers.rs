@@ -1,0 +1,559 @@
+//! Per-event-kind handlers of the simulation loop.
+//!
+//! [`crate::sim`] owns the state and the public API; this module is the
+//! dispatch side: one named handler per [`Event`] kind, entered through
+//! [`SimCore::handle_event`], which is also where the
+//! `telemetry::LoopStats` per-kind counters (and optional wall-clock
+//! profiling) hook in. Keeping the handlers out of `sim.rs` keeps the
+//! monolithic dispatch loop from re-growing and gives each event kind a
+//! profiling boundary that matches a single function.
+
+use rng::rngs::StdRng;
+use rng::Rng;
+use telemetry::{Telemetry, TraceEvent};
+
+use crate::endpoint::Effects;
+use crate::event::{Event, EventQueue};
+use crate::fault::FaultAction;
+use crate::node::Node;
+use crate::packet::{Flags, FlowId, NodeId, Packet};
+use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
+use crate::sim::{AppCall, PacketEventKind, SimCore};
+use crate::units::Time;
+
+impl SimCore {
+    /// Counts, optionally profiles, and dispatches one event.
+    pub(crate) fn handle_event(&mut self, ev: Event) {
+        let kind = ev.kind_index();
+        self.telemetry.loop_stats.count(kind);
+        if self.telemetry.loop_stats.profiled() {
+            let t0 = std::time::Instant::now();
+            self.dispatch_event(ev);
+            self.telemetry
+                .loop_stats
+                .add_nanos(kind, t0.elapsed().as_nanos() as u64);
+        } else {
+            self.dispatch_event(ev);
+        }
+    }
+
+    fn dispatch_event(&mut self, ev: Event) {
+        match ev {
+            Event::NicEnqueue { node, pkt } => self.on_nic_enqueue(node, pkt),
+            Event::Arrival { node, port, pkt } => self.on_arrival(node, port, pkt),
+            Event::TxDone { node, port } => self.tx_done(node, port),
+            Event::HostTimer { node, flow, token } => self.on_host_timer(node, flow, token),
+            Event::PolicyTimer { node, token } => self.on_policy_timer(node, token),
+            Event::AppTimer { token } => {
+                self.pending_app.push_back(AppCall::Timer(token));
+            }
+            Event::Sample { sampler } => self.on_sample(sampler),
+            Event::Fault { action } => self.apply_fault(action),
+        }
+        self.events_processed += 1;
+    }
+
+    /// A packet emitted by an endpoint reaches its host's NIC queue.
+    fn on_nic_enqueue(&mut self, node: NodeId, pkt: Packet) {
+        let n = &mut self.nodes[node.0 as usize];
+        if let Node::Host(h) = n {
+            if h.stalled {
+                // A stalled host emits nothing, silently.
+                h.nic.fault_drops += 1;
+                return;
+            }
+        }
+        Self::enqueue_and_kick(
+            n,
+            0,
+            pkt,
+            self.now,
+            &mut self.events,
+            &mut self.fault_rng,
+            &mut self.telemetry,
+        );
+    }
+
+    /// A packet finishes propagating into `node` on `port`.
+    fn on_arrival(&mut self, node: NodeId, port: usize, pkt: Packet) {
+        if !self.nodes[node.0 as usize].port(port).up {
+            // The packet propagated into a link that died under it:
+            // lost without trace at the receiving end.
+            self.record_fault_drop(node, port, &pkt);
+            return;
+        }
+        self.log_packet(node, PacketEventKind::Arrival, &pkt);
+        match &self.nodes[node.0 as usize] {
+            Node::Switch(_) => self.switch_ingress(node, port, pkt),
+            Node::Host(_) => self.host_receive(node, pkt),
+        }
+    }
+
+    /// A transport-endpoint timer fires at a host.
+    fn on_host_timer(&mut self, node: NodeId, flow: FlowId, token: u64) {
+        // The timer's cancellation handle is spent the moment it fires.
+        if let Some(pending) = self.host_timers.get_mut(flow.0 as usize) {
+            if let Some(i) = pending.iter().position(|&(t, _)| t == token) {
+                pending.swap_remove(i);
+            }
+        }
+        let now = self.now;
+        let mut fx = Effects::new();
+        let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+            return;
+        };
+        if let Some(s) = h.senders.get_mut(flow) {
+            s.on_timer(token, now, &mut fx);
+        } else {
+            return;
+        }
+        self.apply_host_fx(node, flow, fx);
+    }
+
+    /// A switch-policy timer fires.
+    fn on_policy_timer(&mut self, node: NodeId, token: u64) {
+        if let Some(pending) = self.policy_timers.get_mut(node.0 as usize) {
+            if let Some(i) = pending.iter().position(|&(t, _)| t == token) {
+                pending.swap_remove(i);
+            }
+        }
+        let now = self.now;
+        let mut fx = PolicyFx::new();
+        {
+            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                return;
+            };
+            sw.policy.on_timer(token, now, &mut fx);
+        }
+        self.apply_policy_fx(node, fx);
+    }
+
+    /// A periodic queue sampler ticks. Reads the sampler in place
+    /// (disjoint field borrows) instead of cloning it every firing.
+    fn on_sample(&mut self, sampler: usize) {
+        let s = &self.samplers[sampler];
+        let bytes = self.nodes[s.node.0 as usize].port(s.port).queue.bytes();
+        self.trace.record(&s.key, self.now, bytes as f64);
+        let next = self.now + s.every;
+        let past_until = s.until.is_some_and(|u| next > u);
+        let past_end = self.cfg.end.is_some_and(|e| next > e);
+        if !past_until && !past_end {
+            self.events.schedule(next, Event::Sample { sampler });
+        }
+    }
+
+    /// Counts (and, with telemetry, records) a packet lost to a fault at
+    /// `node`'s `port`.
+    fn record_fault_drop(&mut self, node: NodeId, port: usize, pkt: &Packet) {
+        let wire = pkt.wire_bytes();
+        let (flow, seq) = (pkt.flow.0, pkt.seq);
+        self.nodes[node.0 as usize].port_mut(port).fault_drops += 1;
+        if self.telemetry.log.enabled() {
+            self.telemetry.log.record(
+                self.now.nanos(),
+                TraceEvent::PktDrop {
+                    node: node.0,
+                    port: port as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                },
+            );
+        }
+    }
+
+    /// Enqueues `pkt` on `node`'s `port`, starting the transmitter if it
+    /// is idle. Drops (with accounting in the queue) on overflow, and
+    /// loses the packet outright on a downed link or an active loss
+    /// window (fault accounting). Returns whether the packet was
+    /// accepted.
+    fn enqueue_and_kick(
+        node: &mut Node,
+        port_idx: usize,
+        pkt: Packet,
+        now: Time,
+        events: &mut EventQueue,
+        fault_rng: &mut StdRng,
+        tel: &mut Telemetry,
+    ) -> bool {
+        let id = node.id();
+        let port = node.port_mut(port_idx);
+        let wire = pkt.wire_bytes();
+        let meta = tel.log.enabled().then(|| (pkt.flow.0, pkt.seq));
+        // The fault RNG is only drawn inside an active loss window, so
+        // fault-free runs are byte-identical to pre-fault-layer ones.
+        let lost = !port.up
+            || (port.loss_permille > 0
+                && fault_rng.gen_range(0..1000u64) < port.loss_permille as u64);
+        if lost {
+            port.fault_drops += 1;
+            if let Some((flow, seq)) = meta {
+                tel.log.record(
+                    now.nanos(),
+                    TraceEvent::PktDrop {
+                        node: id.0,
+                        port: port_idx as u16,
+                        flow,
+                        seq,
+                        bytes: wire,
+                    },
+                );
+            }
+            return false;
+        }
+        let accepted = port.queue.enqueue(pkt);
+        if let Some((flow, seq)) = meta {
+            let event = if accepted {
+                TraceEvent::PktEnqueue {
+                    node: id.0,
+                    port: port_idx as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                    queue_bytes: port.queue.bytes(),
+                }
+            } else {
+                TraceEvent::PktDrop {
+                    node: id.0,
+                    port: port_idx as u16,
+                    flow,
+                    seq,
+                    bytes: wire,
+                }
+            };
+            tel.log.record(now.nanos(), event);
+        }
+        if accepted && !port.busy {
+            port.busy = true;
+            let ser = port.link.rate.serialize(wire);
+            events.schedule(
+                now + ser,
+                Event::TxDone {
+                    node: id,
+                    port: port_idx,
+                },
+            );
+        }
+        accepted
+    }
+
+    fn tx_done(&mut self, node: NodeId, port_idx: usize) {
+        let now = self.now;
+        let n = &mut self.nodes[node.0 as usize];
+        let port = n.port_mut(port_idx);
+        let pkt = port
+            .queue
+            .dequeue()
+            .expect("TxDone with empty queue: transmitter state corrupt");
+        // A downed link keeps draining its FIFO at line rate, but every
+        // serialised packet falls into the void; the transmitter never
+        // stops, so no re-kick is needed when the link comes back.
+        let up = port.up;
+        if up {
+            port.tx_bytes += pkt.wire_bytes();
+        } else {
+            port.fault_drops += 1;
+        }
+        if self.telemetry.log.enabled() {
+            let ev = if up {
+                TraceEvent::PktDequeue {
+                    node: node.0,
+                    port: port_idx as u16,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                    bytes: pkt.wire_bytes(),
+                }
+            } else {
+                TraceEvent::PktDrop {
+                    node: node.0,
+                    port: port_idx as u16,
+                    flow: pkt.flow.0,
+                    seq: pkt.seq,
+                    bytes: pkt.wire_bytes(),
+                }
+            };
+            self.telemetry.log.record(now.nanos(), ev);
+        }
+        let link = port.link;
+        let next_ser = if port.queue.is_empty() {
+            port.busy = false;
+            None
+        } else {
+            // The head packet determines the next serialisation time.
+            let head_wire = port
+                .queue
+                .peek_wire_bytes()
+                .expect("non-empty queue has a head");
+            Some(link.rate.serialize(head_wire))
+        };
+        if let Some(ser) = next_ser {
+            self.events.schedule(
+                now + ser,
+                Event::TxDone {
+                    node,
+                    port: port_idx,
+                },
+            );
+        }
+        if up {
+            self.events.schedule(
+                now + link.delay,
+                Event::Arrival {
+                    node: link.peer,
+                    port: link.peer_port,
+                    pkt,
+                },
+            );
+        }
+    }
+
+    fn switch_ingress(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
+        let now = self.now;
+        let mut fx = PolicyFx::new();
+        let forward = {
+            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            match sw.policy.on_ingress(in_port, &mut pkt, now, &mut fx) {
+                IngressVerdict::Forward => true,
+                IngressVerdict::Consume => false,
+            }
+        };
+        if forward {
+            self.switch_egress(node, pkt, true);
+        }
+        self.apply_policy_fx(node, fx);
+    }
+
+    /// Routes and enqueues a packet at a switch, optionally running the
+    /// egress policy hook (skipped for policy-injected packets).
+    fn switch_egress(&mut self, node: NodeId, mut pkt: Packet, run_hook: bool) {
+        let now = self.now;
+        let ce_before = pkt.flags.contains(Flags::CE);
+        let mut fx = PolicyFx::new();
+        let enqueue = {
+            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            let Some(out) = sw.route(pkt.dst) else {
+                panic!("switch {node:?} has no route to {:?}", pkt.dst);
+            };
+            let verdict = if run_hook {
+                let qbytes = sw.ports[out].queue.bytes();
+                sw.policy.on_egress(out, &mut pkt, qbytes, now, &mut fx)
+            } else {
+                EgressVerdict::Enqueue
+            };
+            match verdict {
+                EgressVerdict::Enqueue => Some(out),
+                EgressVerdict::Drop => None,
+            }
+        };
+        if let Some(out) = enqueue {
+            let log_copy = (self.cfg.packet_log > 0).then(|| pkt.clone());
+            // The egress hook may have marked the packet; capture what the
+            // telemetry events need before the packet moves into the queue.
+            let marks = self.telemetry.log.enabled().then(|| {
+                (
+                    pkt.flow.0,
+                    pkt.seq,
+                    !ce_before && pkt.flags.contains(Flags::CE),
+                    pkt.flags.contains(Flags::RM),
+                    pkt.window,
+                )
+            });
+            let accepted = Self::enqueue_and_kick(
+                &mut self.nodes[node.0 as usize],
+                out,
+                pkt,
+                now,
+                &mut self.events,
+                &mut self.fault_rng,
+                &mut self.telemetry,
+            );
+            if accepted {
+                if let Some((flow, seq, ecn_marked, round_marked, window)) = marks {
+                    if ecn_marked {
+                        self.telemetry.log.record(
+                            now.nanos(),
+                            TraceEvent::PktEcnMark {
+                                node: node.0,
+                                port: out as u16,
+                                flow,
+                                seq,
+                            },
+                        );
+                    }
+                    if round_marked {
+                        self.telemetry.log.record(
+                            now.nanos(),
+                            TraceEvent::PktRoundMark {
+                                node: node.0,
+                                port: out as u16,
+                                flow,
+                                seq,
+                                window,
+                            },
+                        );
+                    }
+                }
+            } else if let Some(p) = log_copy {
+                self.log_packet(node, PacketEventKind::Drop, &p);
+            }
+        }
+        self.apply_policy_fx(node, fx);
+    }
+
+    pub(crate) fn apply_policy_fx(&mut self, node: NodeId, fx: PolicyFx) {
+        // Cancels first, so a policy that re-arms in the same callback
+        // cancels the stale generation before scheduling the new one.
+        for token in fx.cancels {
+            let pending = &mut self.policy_timers[node.0 as usize];
+            if let Some(i) = pending.iter().position(|&(t, _)| t == token) {
+                let (_, handle) = pending.swap_remove(i);
+                self.events.cancel(handle);
+            }
+        }
+        for (after, token) in fx.timers {
+            let handle = self
+                .events
+                .schedule_cancellable(self.now + after, Event::PolicyTimer { node, token });
+            self.policy_timers[node.0 as usize].push((token, handle));
+        }
+        for (key, value) in fx.traces {
+            self.trace.record(&key, self.now, value);
+        }
+        for pkt in fx.inject {
+            self.switch_egress(node, pkt, false);
+        }
+        for mut sample in fx.slot_samples {
+            sample.at_ns = self.now.nanos();
+            self.telemetry.push_slot_sample(sample);
+        }
+    }
+
+    /// Applies one fault action at the current time (the `Event::Fault`
+    /// handler). Link-level faults hit both ends of the full-duplex
+    /// link; every application is recorded as a `FaultInjected` or
+    /// `FaultCleared` telemetry event.
+    fn apply_fault(&mut self, action: FaultAction) {
+        let now = self.now;
+        match action {
+            FaultAction::LinkDown { node, port } => self.set_link_up(node, port, false),
+            FaultAction::LinkUp { node, port } => self.set_link_up(node, port, true),
+            FaultAction::LinkRate { node, port, rate } => {
+                // A packet mid-serialisation completes on its old
+                // schedule; the new rate applies from the next one.
+                let (peer, peer_port) = {
+                    let p = self.nodes[node.0 as usize].port_mut(port);
+                    p.link.rate = rate;
+                    (p.link.peer, p.link.peer_port)
+                };
+                self.nodes[peer.0 as usize].port_mut(peer_port).link.rate = rate;
+            }
+            FaultAction::LossWindow {
+                node,
+                port,
+                permille,
+            } => {
+                self.nodes[node.0 as usize].port_mut(port).loss_permille = permille.min(1000);
+            }
+            FaultAction::LossWindowEnd { node, port } => {
+                self.nodes[node.0 as usize].port_mut(port).loss_permille = 0;
+            }
+            FaultAction::PolicyReset { node, port } => {
+                let mut fx = PolicyFx::new();
+                {
+                    let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
+                        panic!("PolicyReset target {node:?} is not a switch");
+                    };
+                    let rate = sw.ports[port].link.rate;
+                    sw.policy.reset_port(port, rate, now, &mut fx);
+                }
+                self.apply_policy_fx(node, fx);
+            }
+            FaultAction::HostStall { node } => self.set_host_stalled(node, true),
+            FaultAction::HostResume { node } => self.set_host_stalled(node, false),
+        }
+        if self.telemetry.log.enabled() {
+            let (kind, node, port, value) = (
+                action.kind_label(),
+                action.node().0,
+                action.port() as u16,
+                action.value(),
+            );
+            let ev = if action.is_clear() {
+                TraceEvent::FaultCleared {
+                    kind,
+                    node,
+                    port,
+                    value,
+                }
+            } else {
+                TraceEvent::FaultInjected {
+                    kind,
+                    node,
+                    port,
+                    value,
+                }
+            };
+            self.telemetry.log.record(now.nanos(), ev);
+        }
+    }
+
+    /// Marks both ends of the link at `node`/`port` up or down.
+    fn set_link_up(&mut self, node: NodeId, port: usize, up: bool) {
+        let (peer, peer_port) = {
+            let p = self.nodes[node.0 as usize].port_mut(port);
+            p.up = up;
+            (p.link.peer, p.link.peer_port)
+        };
+        self.nodes[peer.0 as usize].port_mut(peer_port).up = up;
+    }
+
+    fn set_host_stalled(&mut self, node: NodeId, stalled: bool) {
+        let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+            panic!("host-stall target {node:?} is not a host");
+        };
+        h.stalled = stalled;
+    }
+
+    fn host_receive(&mut self, node: NodeId, pkt: Packet) {
+        let now = self.now;
+        let flow = pkt.flow;
+        {
+            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            if h.stalled {
+                // A stalled host's endpoints see nothing.
+                h.nic.fault_drops += 1;
+                return;
+            }
+        }
+        if self.telemetry.log.enabled() && pkt.flags.contains(Flags::ACK) {
+            self.telemetry.log.record(
+                now.nanos(),
+                TraceEvent::PktAck {
+                    node: node.0,
+                    flow: flow.0,
+                    ack: pkt.ack,
+                },
+            );
+        }
+        let mut fx = Effects::new();
+        {
+            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            if let Some(s) = h.senders.get_mut(flow) {
+                s.on_packet(&pkt, now, &mut fx);
+            } else if let Some(r) = h.receivers.get_mut(flow) {
+                r.on_packet(&pkt, now, &mut fx);
+            } else {
+                return; // Stale packet of a torn-down flow.
+            }
+        }
+        self.apply_host_fx(node, flow, fx);
+    }
+}

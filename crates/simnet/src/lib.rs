@@ -37,10 +37,13 @@ pub mod app;
 pub mod endpoint;
 pub mod event;
 pub mod fault;
+pub mod flowtable;
+mod handlers;
 pub mod node;
 pub mod packet;
 pub mod policy;
 pub mod queue;
+pub mod sched;
 pub mod sim;
 pub mod topology;
 pub mod trace;
@@ -49,8 +52,10 @@ pub mod units;
 pub use app::{Application, FlowEvent, NullApp};
 pub use endpoint::{Effects, FlowSpec, Note, ProtocolStack, ReceiverEndpoint, SenderEndpoint};
 pub use fault::FaultAction;
+pub use flowtable::FlowMap;
 pub use node::PortStats;
 pub use packet::{Flags, FlowId, NodeId, Packet, HEADER_BYTES, MIN_FRAME, MSS, WINDOW_INIT};
+pub use sched::{SchedulerKind, TimerHandle};
 pub use sim::{FlowState, SimApi, SimConfig, SimCore, Simulator};
 pub use topology::{Network, TopologyBuilder};
 pub use units::{Bandwidth, Dur, Time};

@@ -1,9 +1,8 @@
 //! Hosts, switches, and their ports.
 
-use std::collections::BTreeMap;
-
 use crate::endpoint::{ReceiverEndpoint, SenderEndpoint};
-use crate::packet::{FlowId, NodeId};
+use crate::flowtable::FlowMap;
+use crate::packet::NodeId;
 use crate::policy::SwitchPolicy;
 use crate::queue::PortQueue;
 use crate::units::{Bandwidth, Dur};
@@ -127,10 +126,12 @@ pub struct Host {
     pub id: NodeId,
     /// The NIC.
     pub nic: Port,
-    /// Sender endpoints of flows originating here.
-    pub senders: BTreeMap<FlowId, Box<dyn SenderEndpoint>>,
-    /// Receiver endpoints of flows terminating here.
-    pub receivers: BTreeMap<FlowId, Box<dyn ReceiverEndpoint>>,
+    /// Sender endpoints of flows originating here, in a dense slab
+    /// keyed by flow id.
+    pub senders: FlowMap<Box<dyn SenderEndpoint>>,
+    /// Receiver endpoints of flows terminating here, in a dense slab
+    /// keyed by flow id.
+    pub receivers: FlowMap<Box<dyn ReceiverEndpoint>>,
     /// Whether the host is stalled by a fault: silent without FIN —
     /// nothing leaves the NIC, arrivals are discarded, timers still run.
     pub stalled: bool,

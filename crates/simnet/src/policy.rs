@@ -12,6 +12,11 @@ use crate::units::{Bandwidth, Dur, Time};
 pub struct PolicyFx {
     /// Timers to arm: fire after `Dur` carrying the token.
     pub timers: Vec<(Dur, u64)>,
+    /// Tokens of previously armed timers to cancel. Best-effort, like
+    /// [`crate::endpoint::Effects::cancels`]: unknown tokens are
+    /// ignored, stale-generation checks in the policy remain the source
+    /// of truth, and cancels apply before this effect set's `timers`.
+    pub cancels: Vec<u64>,
     /// Packets to (re)inject into the switch's egress path; each will be
     /// routed and enqueued as if it had just arrived, but without another
     /// ingress-hook pass.
@@ -34,6 +39,11 @@ impl PolicyFx {
     /// Arms a policy timer.
     pub fn timer(&mut self, after: Dur, token: u64) {
         self.timers.push((after, token));
+    }
+
+    /// Cancels the pending policy timer carrying `token`, if any.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.cancels.push(token);
     }
 
     /// Re-injects a packet into the egress path.

@@ -4,8 +4,13 @@
 //! and the workload application, and runs the discrete-event loop. All
 //! state mutation happens through events, so runs are deterministic for
 //! a given seed and topology.
+//!
+//! The loop itself is layered: this module holds the state and the
+//! public control surface, [`crate::sched`] orders the events, and
+//! [`crate::handlers`] implements the per-event-kind handlers the
+//! dispatch loop fans out to.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use metrics::{FctCollector, FlowRecord, RateMeter};
 use rng::rngs::StdRng;
@@ -17,8 +22,8 @@ use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultAction;
 use crate::node::{Node, PortStats};
-use crate::packet::{Flags, FlowId, NodeId, Packet};
-use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
+use crate::packet::{FlowId, NodeId, Packet};
+use crate::sched::{SchedulerKind, TimerHandle};
 use crate::topology::Network;
 use crate::trace::{QueueSampler, TraceCenter};
 use crate::units::{Dur, Time};
@@ -46,6 +51,10 @@ pub struct SimConfig {
     /// Structured telemetry: typed event log, event-loop counters, TFC
     /// slot gauges (all off by default; see [`SimCore::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// Event-scheduler backend. The timing wheel is the default; the
+    /// reference heap exists for equivalence tests and benchmarks, and
+    /// both produce byte-identical runs (see [`crate::sched`]).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -56,6 +65,7 @@ impl Default for SimConfig {
             host_jitter: None,
             packet_log: 0,
             telemetry: TelemetryConfig::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -115,33 +125,42 @@ pub struct FlowState {
     pub rtt_samples: Vec<(u64, u64)>,
 }
 
-enum AppCall {
+pub(crate) enum AppCall {
     Timer(u64),
     Flow(FlowEvent),
 }
 
 /// Everything except the application: the part of the simulator that
 /// [`SimApi`] exposes to application callbacks.
+///
+/// Fields are `pub(crate)` so the event handlers in [`crate::handlers`]
+/// can borrow them disjointly.
 pub struct SimCore {
-    now: Time,
-    events: EventQueue,
-    nodes: Vec<Node>,
-    hosts: Vec<NodeId>,
-    switches: Vec<NodeId>,
-    stack: Box<dyn ProtocolStack>,
-    flows: BTreeMap<FlowId, FlowState>,
-    next_flow: u64,
-    rng: StdRng,
-    fault_rng: StdRng,
-    trace: TraceCenter,
-    samplers: Vec<QueueSampler>,
-    pending_app: VecDeque<AppCall>,
-    cfg: SimConfig,
-    stopped: bool,
-    fct: FctCollector,
-    events_processed: u64,
-    packet_log: VecDeque<PacketLogEntry>,
-    telemetry: Telemetry,
+    pub(crate) now: Time,
+    pub(crate) events: EventQueue,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) hosts: Vec<NodeId>,
+    pub(crate) switches: Vec<NodeId>,
+    pub(crate) stack: Box<dyn ProtocolStack>,
+    /// Flow states in a dense slab: ids are allocated sequentially and
+    /// never recycled, so `flows[id]` is the flow's state.
+    pub(crate) flows: Vec<FlowState>,
+    /// Pending cancellable host-timer handles per flow, as
+    /// `(endpoint token, handle)` pairs; entries leave on fire/cancel.
+    pub(crate) host_timers: Vec<Vec<(u64, TimerHandle)>>,
+    /// Pending cancellable policy-timer handles per node id.
+    pub(crate) policy_timers: Vec<Vec<(u64, TimerHandle)>>,
+    pub(crate) rng: StdRng,
+    pub(crate) fault_rng: StdRng,
+    pub(crate) trace: TraceCenter,
+    pub(crate) samplers: Vec<QueueSampler>,
+    pub(crate) pending_app: VecDeque<AppCall>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) stopped: bool,
+    pub(crate) fct: FctCollector,
+    pub(crate) events_processed: u64,
+    pub(crate) packet_log: VecDeque<PacketLogEntry>,
+    pub(crate) telemetry: Telemetry,
 }
 
 /// The simulator: a [`SimCore`] plus the workload application.
@@ -169,8 +188,7 @@ impl SimCore {
     /// Panics if `src`/`dst` are not distinct hosts.
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
         assert!(spec.src != spec.dst, "flow endpoints must differ");
-        let flow = FlowId(self.next_flow);
-        self.next_flow += 1;
+        let flow = FlowId(self.flows.len() as u64);
         let sender = self.stack.new_sender(flow, &spec);
         let receiver = self.stack.new_receiver(flow, &spec);
         let (src, dst) = (spec.src, spec.dst);
@@ -185,23 +203,21 @@ impl SimCore {
                 },
             );
         }
-        self.flows.insert(
-            flow,
-            FlowState {
-                spec,
-                started_at: self.now,
-                established_at: None,
-                receiver_done_at: None,
-                sender_done_at: None,
-                delivered: 0,
-                timeouts: 0,
-                retransmits: 0,
-                meter: None,
-                watch_delivery: false,
-                watch_rtt: false,
-                rtt_samples: Vec::new(),
-            },
-        );
+        self.flows.push(FlowState {
+            spec,
+            started_at: self.now,
+            established_at: None,
+            receiver_done_at: None,
+            sender_done_at: None,
+            delivered: 0,
+            timeouts: 0,
+            retransmits: 0,
+            meter: None,
+            watch_delivery: false,
+            watch_rtt: false,
+            rtt_samples: Vec::new(),
+        });
+        self.host_timers.push(Vec::new());
         let Node::Host(h) = &mut self.nodes[dst.0 as usize] else {
             panic!("flow dst {dst:?} is not a host");
         };
@@ -216,7 +232,7 @@ impl SimCore {
             unreachable!()
         };
         h.senders
-            .get_mut(&flow)
+            .get_mut(flow)
             .expect("just inserted")
             .open(now, &mut fx);
         self.apply_host_fx(src, flow, fx);
@@ -229,14 +245,14 @@ impl SimCore {
     ///
     /// Panics if the flow or its sender does not exist.
     pub fn push_data(&mut self, flow: FlowId, bytes: u64) {
-        let src = self.flows[&flow].spec.src;
+        let src = self.flows[flow.0 as usize].spec.src;
         let now = self.now;
         let mut fx = Effects::new();
         let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
             unreachable!()
         };
         h.senders
-            .get_mut(&flow)
+            .get_mut(flow)
             .expect("sender exists")
             .push_data(bytes, now, &mut fx);
         self.apply_host_fx(src, flow, fx);
@@ -248,7 +264,7 @@ impl SimCore {
     /// started, or already torn down) — closing twice is safe, so
     /// workloads need not track liveness across faults.
     pub fn close_flow(&mut self, flow: FlowId) {
-        let Some(state) = self.flows.get(&flow) else {
+        let Some(state) = self.flows.get(flow.0 as usize) else {
             return;
         };
         let src = state.spec.src;
@@ -257,7 +273,7 @@ impl SimCore {
         let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
             unreachable!()
         };
-        let Some(s) = h.senders.get_mut(&flow) else {
+        let Some(s) = h.senders.get_mut(flow) else {
             return;
         };
         s.close(now, &mut fx);
@@ -293,21 +309,24 @@ impl SimCore {
 
     /// Attaches a goodput meter (window `window`) to a flow.
     pub fn meter_flow(&mut self, flow: FlowId, window: Dur) {
-        let state = self.flows.get_mut(&flow).expect("flow exists");
+        let state = self.flows.get_mut(flow.0 as usize).expect("flow exists");
         state.meter = Some(RateMeter::new(format!("flow{}", flow.0), window.as_nanos()));
     }
 
     /// Requests `Delivered` events for a flow.
     pub fn watch_delivery(&mut self, flow: FlowId) {
         self.flows
-            .get_mut(&flow)
+            .get_mut(flow.0 as usize)
             .expect("flow exists")
             .watch_delivery = true;
     }
 
     /// Requests sender RTT sample recording for a flow.
     pub fn watch_rtt(&mut self, flow: FlowId) {
-        self.flows.get_mut(&flow).expect("flow exists").watch_rtt = true;
+        self.flows
+            .get_mut(flow.0 as usize)
+            .expect("flow exists")
+            .watch_rtt = true;
     }
 
     /// Registers a periodic queue-length sampler.
@@ -330,17 +349,20 @@ impl SimCore {
 
     /// Immutable flow state.
     pub fn flow(&self, flow: FlowId) -> &FlowState {
-        &self.flows[&flow]
+        &self.flows[flow.0 as usize]
     }
 
     /// Whether the flow id exists.
     pub fn has_flow(&self, flow: FlowId) -> bool {
-        self.flows.contains_key(&flow)
+        (flow.0 as usize) < self.flows.len()
     }
 
     /// Iterates all flows in id order.
     pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowState)> {
-        self.flows.iter().map(|(k, v)| (*k, v))
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (FlowId(i as u64), v))
     }
 
     /// The collected traces.
@@ -424,7 +446,7 @@ impl SimCore {
         &self.packet_log
     }
 
-    fn log_packet(&mut self, node: NodeId, kind: PacketEventKind, pkt: &Packet) {
+    pub(crate) fn log_packet(&mut self, node: NodeId, kind: PacketEventKind, pkt: &Packet) {
         if self.cfg.packet_log == 0 {
             return;
         }
@@ -443,18 +465,18 @@ impl SimCore {
 
     /// Current congestion window of a flow's sender, if it exists.
     pub fn sender_cwnd(&self, flow: FlowId) -> Option<u64> {
-        let src = self.flows.get(&flow)?.spec.src;
+        let src = self.flows.get(flow.0 as usize)?.spec.src;
         let Node::Host(h) = &self.nodes[src.0 as usize] else {
             return None;
         };
-        h.senders.get(&flow).map(|s| s.cwnd())
+        h.senders.get(flow).map(|s| s.cwnd())
     }
 
     // ------------------------------------------------------------------
     // Internal machinery.
     // ------------------------------------------------------------------
 
-    fn apply_host_fx(&mut self, host: NodeId, flow: FlowId, fx: Effects) {
+    pub(crate) fn apply_host_fx(&mut self, host: NodeId, flow: FlowId, fx: Effects) {
         for mut pkt in fx.packets {
             pkt.sent_at = self.now;
             let jitter = match self.cfg.host_jitter {
@@ -465,8 +487,17 @@ impl SimCore {
             self.events
                 .schedule(self.now + jitter, Event::NicEnqueue { node: host, pkt });
         }
+        // Cancels first: an endpoint that re-arms in the same callback
+        // cancels the old generation before scheduling the new one.
+        for token in fx.cancels {
+            let pending = &mut self.host_timers[flow.0 as usize];
+            if let Some(i) = pending.iter().position(|&(t, _)| t == token) {
+                let (_, handle) = pending.swap_remove(i);
+                self.events.cancel(handle);
+            }
+        }
         for (after, token) in fx.timers {
-            self.events.schedule(
+            let handle = self.events.schedule_cancellable(
                 self.now + after,
                 Event::HostTimer {
                     node: host,
@@ -474,16 +505,17 @@ impl SimCore {
                     token,
                 },
             );
+            self.host_timers[flow.0 as usize].push((token, handle));
         }
         for note in fx.notes {
             self.handle_note(flow, note);
         }
     }
 
-    fn handle_note(&mut self, flow: FlowId, note: Note) {
+    pub(crate) fn handle_note(&mut self, flow: FlowId, note: Note) {
         let now = self.now;
         let tel_on = self.telemetry.log.enabled();
-        let Some(state) = self.flows.get_mut(&flow) else {
+        let Some(state) = self.flows.get_mut(flow.0 as usize) else {
             return;
         };
         match note {
@@ -589,502 +621,6 @@ impl SimCore {
             }
         }
     }
-
-    fn handle_event(&mut self, ev: Event) {
-        let kind = ev.kind_index();
-        self.telemetry.loop_stats.count(kind);
-        if self.telemetry.loop_stats.profiled() {
-            let t0 = std::time::Instant::now();
-            self.dispatch_event(ev);
-            self.telemetry
-                .loop_stats
-                .add_nanos(kind, t0.elapsed().as_nanos() as u64);
-        } else {
-            self.dispatch_event(ev);
-        }
-    }
-
-    fn dispatch_event(&mut self, ev: Event) {
-        match ev {
-            Event::NicEnqueue { node, pkt } => {
-                let n = &mut self.nodes[node.0 as usize];
-                if let Node::Host(h) = n {
-                    if h.stalled {
-                        // A stalled host emits nothing, silently.
-                        h.nic.fault_drops += 1;
-                        return;
-                    }
-                }
-                Self::enqueue_and_kick(
-                    n,
-                    0,
-                    pkt,
-                    self.now,
-                    &mut self.events,
-                    &mut self.fault_rng,
-                    &mut self.telemetry,
-                );
-            }
-            Event::Arrival { node, port, pkt } => {
-                if !self.nodes[node.0 as usize].port(port).up {
-                    // The packet propagated into a link that died under
-                    // it: lost without trace at the receiving end.
-                    self.record_fault_drop(node, port, &pkt);
-                    return;
-                }
-                self.log_packet(node, PacketEventKind::Arrival, &pkt);
-                match &self.nodes[node.0 as usize] {
-                    Node::Switch(_) => self.switch_ingress(node, port, pkt),
-                    Node::Host(_) => self.host_receive(node, pkt),
-                }
-            }
-            Event::TxDone { node, port } => self.tx_done(node, port),
-            Event::HostTimer { node, flow, token } => {
-                let now = self.now;
-                let mut fx = Effects::new();
-                let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
-                    return;
-                };
-                if let Some(s) = h.senders.get_mut(&flow) {
-                    s.on_timer(token, now, &mut fx);
-                } else {
-                    return;
-                }
-                self.apply_host_fx(node, flow, fx);
-            }
-            Event::PolicyTimer { node, token } => {
-                let now = self.now;
-                let mut fx = PolicyFx::new();
-                {
-                    let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
-                        return;
-                    };
-                    sw.policy.on_timer(token, now, &mut fx);
-                }
-                self.apply_policy_fx(node, fx);
-            }
-            Event::AppTimer { token } => {
-                self.pending_app.push_back(AppCall::Timer(token));
-            }
-            Event::Sample { sampler } => {
-                let s = self.samplers[sampler].clone();
-                let bytes = self.nodes[s.node.0 as usize].port(s.port).queue.bytes();
-                self.trace.record(&s.key, self.now, bytes as f64);
-                let next = self.now + s.every;
-                let past_until = s.until.is_some_and(|u| next > u);
-                let past_end = self.cfg.end.is_some_and(|e| next > e);
-                if !past_until && !past_end {
-                    self.events.schedule(next, Event::Sample { sampler });
-                }
-            }
-            Event::Fault { action } => self.apply_fault(action),
-        }
-        self.events_processed += 1;
-    }
-
-    /// Counts (and, with telemetry, records) a packet lost to a fault at
-    /// `node`'s `port`.
-    fn record_fault_drop(&mut self, node: NodeId, port: usize, pkt: &Packet) {
-        let wire = pkt.wire_bytes();
-        let (flow, seq) = (pkt.flow.0, pkt.seq);
-        self.nodes[node.0 as usize].port_mut(port).fault_drops += 1;
-        if self.telemetry.log.enabled() {
-            self.telemetry.log.record(
-                self.now.nanos(),
-                TraceEvent::PktDrop {
-                    node: node.0,
-                    port: port as u16,
-                    flow,
-                    seq,
-                    bytes: wire,
-                },
-            );
-        }
-    }
-
-    /// Enqueues `pkt` on `node`'s `port`, starting the transmitter if it
-    /// is idle. Drops (with accounting in the queue) on overflow, and
-    /// loses the packet outright on a downed link or an active loss
-    /// window (fault accounting). Returns whether the packet was
-    /// accepted.
-    fn enqueue_and_kick(
-        node: &mut Node,
-        port_idx: usize,
-        pkt: Packet,
-        now: Time,
-        events: &mut EventQueue,
-        fault_rng: &mut StdRng,
-        tel: &mut Telemetry,
-    ) -> bool {
-        let id = node.id();
-        let port = node.port_mut(port_idx);
-        let wire = pkt.wire_bytes();
-        let meta = tel.log.enabled().then(|| (pkt.flow.0, pkt.seq));
-        // The fault RNG is only drawn inside an active loss window, so
-        // fault-free runs are byte-identical to pre-fault-layer ones.
-        let lost = !port.up
-            || (port.loss_permille > 0
-                && fault_rng.gen_range(0..1000u64) < port.loss_permille as u64);
-        if lost {
-            port.fault_drops += 1;
-            if let Some((flow, seq)) = meta {
-                tel.log.record(
-                    now.nanos(),
-                    TraceEvent::PktDrop {
-                        node: id.0,
-                        port: port_idx as u16,
-                        flow,
-                        seq,
-                        bytes: wire,
-                    },
-                );
-            }
-            return false;
-        }
-        let accepted = port.queue.enqueue(pkt);
-        if let Some((flow, seq)) = meta {
-            let event = if accepted {
-                TraceEvent::PktEnqueue {
-                    node: id.0,
-                    port: port_idx as u16,
-                    flow,
-                    seq,
-                    bytes: wire,
-                    queue_bytes: port.queue.bytes(),
-                }
-            } else {
-                TraceEvent::PktDrop {
-                    node: id.0,
-                    port: port_idx as u16,
-                    flow,
-                    seq,
-                    bytes: wire,
-                }
-            };
-            tel.log.record(now.nanos(), event);
-        }
-        if accepted && !port.busy {
-            port.busy = true;
-            let ser = port.link.rate.serialize(wire);
-            events.schedule(
-                now + ser,
-                Event::TxDone {
-                    node: id,
-                    port: port_idx,
-                },
-            );
-        }
-        accepted
-    }
-
-    fn tx_done(&mut self, node: NodeId, port_idx: usize) {
-        let now = self.now;
-        let n = &mut self.nodes[node.0 as usize];
-        let port = n.port_mut(port_idx);
-        let pkt = port
-            .queue
-            .dequeue()
-            .expect("TxDone with empty queue: transmitter state corrupt");
-        // A downed link keeps draining its FIFO at line rate, but every
-        // serialised packet falls into the void; the transmitter never
-        // stops, so no re-kick is needed when the link comes back.
-        let up = port.up;
-        if up {
-            port.tx_bytes += pkt.wire_bytes();
-        } else {
-            port.fault_drops += 1;
-        }
-        if self.telemetry.log.enabled() {
-            let ev = if up {
-                TraceEvent::PktDequeue {
-                    node: node.0,
-                    port: port_idx as u16,
-                    flow: pkt.flow.0,
-                    seq: pkt.seq,
-                    bytes: pkt.wire_bytes(),
-                }
-            } else {
-                TraceEvent::PktDrop {
-                    node: node.0,
-                    port: port_idx as u16,
-                    flow: pkt.flow.0,
-                    seq: pkt.seq,
-                    bytes: pkt.wire_bytes(),
-                }
-            };
-            self.telemetry.log.record(now.nanos(), ev);
-        }
-        let link = port.link;
-        let next_ser = if port.queue.is_empty() {
-            port.busy = false;
-            None
-        } else {
-            // The head packet determines the next serialisation time.
-            let head_wire = port
-                .queue
-                .peek_wire_bytes()
-                .expect("non-empty queue has a head");
-            Some(link.rate.serialize(head_wire))
-        };
-        if let Some(ser) = next_ser {
-            self.events.schedule(
-                now + ser,
-                Event::TxDone {
-                    node,
-                    port: port_idx,
-                },
-            );
-        }
-        if up {
-            self.events.schedule(
-                now + link.delay,
-                Event::Arrival {
-                    node: link.peer,
-                    port: link.peer_port,
-                    pkt,
-                },
-            );
-        }
-    }
-
-    fn switch_ingress(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
-        let now = self.now;
-        let mut fx = PolicyFx::new();
-        let forward = {
-            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
-                unreachable!()
-            };
-            match sw.policy.on_ingress(in_port, &mut pkt, now, &mut fx) {
-                IngressVerdict::Forward => true,
-                IngressVerdict::Consume => false,
-            }
-        };
-        if forward {
-            self.switch_egress(node, pkt, true);
-        }
-        self.apply_policy_fx(node, fx);
-    }
-
-    /// Routes and enqueues a packet at a switch, optionally running the
-    /// egress policy hook (skipped for policy-injected packets).
-    fn switch_egress(&mut self, node: NodeId, mut pkt: Packet, run_hook: bool) {
-        let now = self.now;
-        let ce_before = pkt.flags.contains(Flags::CE);
-        let mut fx = PolicyFx::new();
-        let enqueue = {
-            let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
-                unreachable!()
-            };
-            let Some(out) = sw.route(pkt.dst) else {
-                panic!("switch {node:?} has no route to {:?}", pkt.dst);
-            };
-            let verdict = if run_hook {
-                let qbytes = sw.ports[out].queue.bytes();
-                sw.policy.on_egress(out, &mut pkt, qbytes, now, &mut fx)
-            } else {
-                EgressVerdict::Enqueue
-            };
-            match verdict {
-                EgressVerdict::Enqueue => Some(out),
-                EgressVerdict::Drop => None,
-            }
-        };
-        if let Some(out) = enqueue {
-            let log_copy = (self.cfg.packet_log > 0).then(|| pkt.clone());
-            // The egress hook may have marked the packet; capture what the
-            // telemetry events need before the packet moves into the queue.
-            let marks = self.telemetry.log.enabled().then(|| {
-                (
-                    pkt.flow.0,
-                    pkt.seq,
-                    !ce_before && pkt.flags.contains(Flags::CE),
-                    pkt.flags.contains(Flags::RM),
-                    pkt.window,
-                )
-            });
-            let accepted = Self::enqueue_and_kick(
-                &mut self.nodes[node.0 as usize],
-                out,
-                pkt,
-                now,
-                &mut self.events,
-                &mut self.fault_rng,
-                &mut self.telemetry,
-            );
-            if accepted {
-                if let Some((flow, seq, ecn_marked, round_marked, window)) = marks {
-                    if ecn_marked {
-                        self.telemetry.log.record(
-                            now.nanos(),
-                            TraceEvent::PktEcnMark {
-                                node: node.0,
-                                port: out as u16,
-                                flow,
-                                seq,
-                            },
-                        );
-                    }
-                    if round_marked {
-                        self.telemetry.log.record(
-                            now.nanos(),
-                            TraceEvent::PktRoundMark {
-                                node: node.0,
-                                port: out as u16,
-                                flow,
-                                seq,
-                                window,
-                            },
-                        );
-                    }
-                }
-            } else if let Some(p) = log_copy {
-                self.log_packet(node, PacketEventKind::Drop, &p);
-            }
-        }
-        self.apply_policy_fx(node, fx);
-    }
-
-    fn apply_policy_fx(&mut self, node: NodeId, fx: PolicyFx) {
-        for (after, token) in fx.timers {
-            self.events
-                .schedule(self.now + after, Event::PolicyTimer { node, token });
-        }
-        for (key, value) in fx.traces {
-            self.trace.record(&key, self.now, value);
-        }
-        for pkt in fx.inject {
-            self.switch_egress(node, pkt, false);
-        }
-        for mut sample in fx.slot_samples {
-            sample.at_ns = self.now.nanos();
-            self.telemetry.push_slot_sample(sample);
-        }
-    }
-
-    /// Applies one fault action at the current time (the `Event::Fault`
-    /// handler). Link-level faults hit both ends of the full-duplex
-    /// link; every application is recorded as a `FaultInjected` or
-    /// `FaultCleared` telemetry event.
-    fn apply_fault(&mut self, action: FaultAction) {
-        let now = self.now;
-        match action {
-            FaultAction::LinkDown { node, port } => self.set_link_up(node, port, false),
-            FaultAction::LinkUp { node, port } => self.set_link_up(node, port, true),
-            FaultAction::LinkRate { node, port, rate } => {
-                // A packet mid-serialisation completes on its old
-                // schedule; the new rate applies from the next one.
-                let (peer, peer_port) = {
-                    let p = self.nodes[node.0 as usize].port_mut(port);
-                    p.link.rate = rate;
-                    (p.link.peer, p.link.peer_port)
-                };
-                self.nodes[peer.0 as usize].port_mut(peer_port).link.rate = rate;
-            }
-            FaultAction::LossWindow {
-                node,
-                port,
-                permille,
-            } => {
-                self.nodes[node.0 as usize].port_mut(port).loss_permille = permille.min(1000);
-            }
-            FaultAction::LossWindowEnd { node, port } => {
-                self.nodes[node.0 as usize].port_mut(port).loss_permille = 0;
-            }
-            FaultAction::PolicyReset { node, port } => {
-                let mut fx = PolicyFx::new();
-                {
-                    let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
-                        panic!("PolicyReset target {node:?} is not a switch");
-                    };
-                    let rate = sw.ports[port].link.rate;
-                    sw.policy.reset_port(port, rate, now, &mut fx);
-                }
-                self.apply_policy_fx(node, fx);
-            }
-            FaultAction::HostStall { node } => self.set_host_stalled(node, true),
-            FaultAction::HostResume { node } => self.set_host_stalled(node, false),
-        }
-        if self.telemetry.log.enabled() {
-            let (kind, node, port, value) = (
-                action.kind_label(),
-                action.node().0,
-                action.port() as u16,
-                action.value(),
-            );
-            let ev = if action.is_clear() {
-                TraceEvent::FaultCleared {
-                    kind,
-                    node,
-                    port,
-                    value,
-                }
-            } else {
-                TraceEvent::FaultInjected {
-                    kind,
-                    node,
-                    port,
-                    value,
-                }
-            };
-            self.telemetry.log.record(now.nanos(), ev);
-        }
-    }
-
-    /// Marks both ends of the link at `node`/`port` up or down.
-    fn set_link_up(&mut self, node: NodeId, port: usize, up: bool) {
-        let (peer, peer_port) = {
-            let p = self.nodes[node.0 as usize].port_mut(port);
-            p.up = up;
-            (p.link.peer, p.link.peer_port)
-        };
-        self.nodes[peer.0 as usize].port_mut(peer_port).up = up;
-    }
-
-    fn set_host_stalled(&mut self, node: NodeId, stalled: bool) {
-        let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
-            panic!("host-stall target {node:?} is not a host");
-        };
-        h.stalled = stalled;
-    }
-
-    fn host_receive(&mut self, node: NodeId, pkt: Packet) {
-        let now = self.now;
-        let flow = pkt.flow;
-        {
-            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
-                unreachable!()
-            };
-            if h.stalled {
-                // A stalled host's endpoints see nothing.
-                h.nic.fault_drops += 1;
-                return;
-            }
-        }
-        if self.telemetry.log.enabled() && pkt.flags.contains(Flags::ACK) {
-            self.telemetry.log.record(
-                now.nanos(),
-                TraceEvent::PktAck {
-                    node: node.0,
-                    flow: flow.0,
-                    ack: pkt.ack,
-                },
-            );
-        }
-        let mut fx = Effects::new();
-        {
-            let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
-                unreachable!()
-            };
-            if let Some(s) = h.senders.get_mut(&flow) {
-                s.on_packet(&pkt, now, &mut fx);
-            } else if let Some(r) = h.receivers.get_mut(&flow) {
-                r.on_packet(&pkt, now, &mut fx);
-            } else {
-                return; // Stale packet of a torn-down flow.
-            }
-        }
-        self.apply_host_fx(node, flow, fx);
-    }
 }
 
 impl<A: Application> Simulator<A> {
@@ -1092,16 +628,18 @@ impl<A: Application> Simulator<A> {
     /// and config.
     pub fn new(net: Network, stack: Box<dyn ProtocolStack>, app: A, cfg: SimConfig) -> Self {
         let telemetry = Telemetry::new(&cfg.telemetry, cfg.seed, &Event::KIND_NAMES);
+        let policy_timers = net.nodes.iter().map(|_| Vec::new()).collect();
         Self {
             core: SimCore {
                 now: Time::ZERO,
-                events: EventQueue::new(),
+                events: EventQueue::with_kind(cfg.scheduler),
                 nodes: net.nodes,
                 hosts: net.hosts,
                 switches: net.switches,
                 stack,
-                flows: BTreeMap::new(),
-                next_flow: 0,
+                flows: Vec::new(),
+                host_timers: Vec::new(),
+                policy_timers,
                 rng: StdRng::seed_from_u64(cfg.seed),
                 fault_rng: StdRng::seed_from_u64(cfg.seed ^ FAULT_RNG_TAG),
                 trace: TraceCenter::new(),
@@ -1142,7 +680,7 @@ impl<A: Application> Simulator<A> {
         }
         // Flush goodput meters so trailing zero-windows are emitted.
         let now = self.core.now;
-        for state in self.core.flows.values_mut() {
+        for state in self.core.flows.iter_mut() {
             if let Some(m) = &mut state.meter {
                 m.flush(now.nanos());
             }

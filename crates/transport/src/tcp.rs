@@ -145,9 +145,20 @@ impl TcpSender {
     }
 
     fn arm_timer(&mut self, fx: &mut Effects) {
+        if self.timer_armed {
+            fx.cancel_timer(self.timer_gen);
+        }
         self.timer_gen += 1;
         self.timer_armed = true;
         fx.timer(self.est.rto(), self.timer_gen);
+    }
+
+    fn disarm_timer(&mut self, fx: &mut Effects) {
+        if self.timer_armed {
+            fx.cancel_timer(self.timer_gen);
+        }
+        self.timer_armed = false;
+        self.timer_gen += 1; // invalidate a pending RTO that outran the cancel
     }
 
     fn emit_data(&mut self, seq: u64, len: u64, now: Time, fx: &mut Effects) {
@@ -290,16 +301,14 @@ impl TcpSender {
         // FIN fully acknowledged?
         if self.fin_sent && self.snd_una > self.pushed && !self.done_noted {
             self.done_noted = true;
-            self.timer_armed = false;
-            self.timer_gen += 1; // invalidate pending RTO
+            self.disarm_timer(fx);
             fx.note(Note::SenderDone);
             return;
         }
         if self.outstanding() > 0 {
             self.arm_timer(fx);
         } else {
-            self.timer_armed = false;
-            self.timer_gen += 1;
+            self.disarm_timer(fx);
         }
         self.send_available(now, fx);
     }
@@ -359,8 +368,7 @@ impl SenderEndpoint for TcpSender {
         if pkt.flags.contains(Flags::SYN) && pkt.flags.contains(Flags::ACK) {
             if !self.established {
                 self.established = true;
-                self.timer_armed = false;
-                self.timer_gen += 1;
+                self.disarm_timer(fx);
                 fx.note(Note::Established);
                 self.send_available(now, fx);
             }

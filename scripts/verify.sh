@@ -33,4 +33,13 @@ TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-flap" | grep "tokens reclaimed" >/dev/null
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-stall" | grep "fault windows:" >/dev/null
 
+# Scale-bench smoke: the quick suite must run both scheduler backends to
+# identical outcomes and write a well-formed BENCH_scale.json (schema
+# key, non-zero events/sec — the binary itself asserts positivity).
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
+test -s "$TRACE_DIR/bench/BENCH_scale.json"
+grep '"schema": "tfc-bench-scale/v1"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+
 echo "verify: OK"

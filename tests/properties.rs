@@ -218,3 +218,128 @@ fn identical_seeds_identical_outcomes_all_protocols() {
         assert_eq!(a, b, "{w:?} not deterministic");
     }
 }
+
+/// Randomized schedule/pop/cancel interleavings against a naive sorted-
+/// vec model, under both scheduler backends. Checks min-time pop order,
+/// FIFO tie-breaking at equal timestamps, bucket-boundary offsets,
+/// far-future overflow times, time zero, and cancellation (including
+/// stale handles after fire or double-cancel).
+#[test]
+fn scheduler_matches_sorted_vec_model() {
+    use simnet::event::{Event, EventQueue};
+    use simnet::{SchedulerKind, TimerHandle};
+
+    // (at, seq, token): the model pops the smallest (at, seq).
+    struct Model {
+        live: Vec<(u64, u64, u64)>,
+        next_seq: u64,
+    }
+    impl Model {
+        fn push(&mut self, at: u64, token: u64) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.live.push((at, seq, token));
+            seq
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            let i = (0..self.live.len()).min_by_key(|&i| (self.live[i].0, self.live[i].1))?;
+            let (at, _, token) = self.live.remove(i);
+            Some((at, token))
+        }
+        fn cancel(&mut self, seq: u64) -> bool {
+            match self.live.iter().position(|&(_, s, _)| s == seq) {
+                Some(i) => {
+                    self.live.remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    for kind in [SchedulerKind::Wheel, SchedulerKind::RefHeap] {
+        cases(48, |case, rng| {
+            let mut q = EventQueue::with_kind(kind);
+            let mut model = Model {
+                live: Vec::new(),
+                next_seq: 0,
+            };
+            // Cancellable entries still pending: (model seq, token, handle).
+            let mut handles: Vec<(u64, u64, TimerHandle)> = Vec::new();
+            let mut spent: Vec<TimerHandle> = Vec::new();
+            let mut now = 0u64;
+            let mut token = 0u64;
+            for step in 0..400u32 {
+                match rng.gen_range(0u32..10) {
+                    // Schedule (0-5: plain, 6-7: cancellable).
+                    op @ 0..=7 => {
+                        let off = match rng.gen_range(0u32..8) {
+                            0 => 0, // time zero / exactly now
+                            1 => rng.gen_range(0u64..4),
+                            2 => 255,
+                            3 => 256, // tick granularity boundary
+                            4 => 257,
+                            5 => 16_384, // level boundary
+                            6 => rng.gen_range(0u64..1 << 22),
+                            _ => (1 << 30) + rng.gen_range(0u64..1 << 40), // overflow tier
+                        };
+                        let at = Time(now + off);
+                        let ev = Event::AppTimer { token };
+                        if op < 6 {
+                            model.push(at.nanos(), token);
+                            q.schedule(at, ev);
+                        } else {
+                            let seq = model.push(at.nanos(), token);
+                            handles.push((seq, token, q.schedule_cancellable(at, ev)));
+                        }
+                        token += 1;
+                    }
+                    // Cancel a random pending cancellable entry.
+                    8 if !handles.is_empty() => {
+                        let i = rng.gen_range(0..handles.len());
+                        let (seq, _, h) = handles.swap_remove(i);
+                        assert!(model.cancel(seq), "model lost a live entry");
+                        assert!(q.cancel(h), "case {case} step {step}: live cancel failed");
+                        spent.push(h);
+                    }
+                    // Cancel a stale handle: must refuse, must not corrupt.
+                    8 => {
+                        if let Some(&h) = spent.last() {
+                            assert!(!q.cancel(h), "case {case} step {step}: stale cancel");
+                        }
+                    }
+                    // Pop.
+                    _ => {
+                        let got = q.pop();
+                        let want = model.pop();
+                        let got_key = got.map(|(t, e)| match e {
+                            Event::AppTimer { token } => (t.nanos(), token),
+                            other => panic!("unexpected event {other:?}"),
+                        });
+                        assert_eq!(got_key, want, "case {case} step {step} ({kind:?})");
+                        if let Some((t, _)) = got_key {
+                            assert!(t >= now, "time went backwards");
+                            now = t;
+                        }
+                        // A popped cancellable entry's handle is spent.
+                        if let Some((_, tok)) = got_key {
+                            if let Some(i) = handles.iter().position(|&(_, t, _)| t == tok) {
+                                spent.push(handles.swap_remove(i).2);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(q.len(), model.live.len(), "case {case} step {step}");
+            }
+            // Drain: the full residual order must match the model.
+            while let Some(want) = model.pop() {
+                let got = q.pop().map(|(t, e)| match e {
+                    Event::AppTimer { token } => (t.nanos(), token),
+                    other => panic!("unexpected event {other:?}"),
+                });
+                assert_eq!(got, Some(want), "case {case} drain ({kind:?})");
+            }
+            assert!(q.pop().is_none());
+        });
+    }
+}

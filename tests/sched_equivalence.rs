@@ -1,0 +1,146 @@
+//! Scheduler-equivalence regression: the timing-wheel backend must
+//! reproduce the reference binary-heap backend *byte for byte*.
+//!
+//! Two deterministic scenarios — a figure-style incast and a chaos
+//! fault timeline on a leaf-spine — run once under each
+//! [`SchedulerKind`], exporting the full artifact bundle (manifest,
+//! counters, events, flows, TFC slot gauges). Every exported file must
+//! be byte-identical across backends: the wheel is a pure data-structure
+//! substitution, not a behaviour change.
+//!
+//! Kept as a single `#[test]` because both halves set
+//! `TFC_RESULTS_DIR`; Rust runs tests in threads and the environment is
+//! process-global.
+
+use std::path::{Path, PathBuf};
+
+use chaos::FaultTimeline;
+use experiments::artifacts::maybe_export;
+use simnet::app::NullApp;
+use simnet::endpoint::FlowSpec;
+use simnet::sim::{SimConfig, Simulator};
+use simnet::topology::{leaf_spine, star};
+use simnet::units::{Bandwidth, Dur, Time};
+use simnet::SchedulerKind;
+use telemetry::{LogMode, TelemetryConfig};
+use tfc::config::TfcSwitchConfig;
+use tfc::{TfcStack, TfcSwitchPolicy};
+
+/// Full-fidelity telemetry, minus the wall-clock profile (which writes
+/// non-deterministic nanosecond timings into `counters.json`).
+fn telemetry(run: &str) -> TelemetryConfig {
+    TelemetryConfig {
+        events: LogMode::Full,
+        sample_one_in: 1,
+        tfc_gauges: true,
+        profile: false,
+        export: Some(run.to_string()),
+    }
+}
+
+/// Figure-style incast: 12 senders into one receiver through a star.
+fn run_incast(kind: SchedulerKind) {
+    let (t, hosts, _hub) = star(13, Bandwidth::gbps(1), Dur::micros(5));
+    let receiver = hosts[0];
+    let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+    let mut sim = Simulator::new(
+        net,
+        Box::new(TfcStack::default()),
+        NullApp,
+        SimConfig {
+            seed: 7,
+            end: Some(Time(Dur::millis(30).as_nanos())),
+            telemetry: telemetry("equiv_incast"),
+            scheduler: kind,
+            ..Default::default()
+        },
+    );
+    for (i, &src) in hosts[1..].iter().enumerate() {
+        sim.core_mut()
+            .start_flow(FlowSpec::sized(src, receiver, 64_000 + 1_000 * i as u64));
+    }
+    sim.run();
+    maybe_export(sim.core(), "star(13)", "sched-equivalence incast");
+}
+
+/// Chaos timeline on a small leaf-spine: link flap, host stall, loss
+/// burst, and a policy reset, all scripted at fixed times.
+fn run_chaos(kind: SchedulerKind) {
+    let (t, hosts, switches) = leaf_spine(
+        4,
+        6,
+        Bandwidth::gbps(1),
+        Bandwidth::gbps(10),
+        Dur::micros(20),
+    );
+    let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+    let mut sim = Simulator::new(
+        net,
+        Box::new(TfcStack::default()),
+        NullApp,
+        SimConfig {
+            seed: 11,
+            end: Some(Time(Dur::millis(40).as_nanos())),
+            telemetry: telemetry("equiv_chaos"),
+            scheduler: kind,
+            ..Default::default()
+        },
+    );
+    for i in 0..16usize {
+        let src = hosts[i];
+        let dst = hosts[(i + 7) % hosts.len()];
+        sim.core_mut()
+            .start_flow(FlowSpec::sized(src, dst, 40_000 + 500 * i as u64));
+    }
+    let leaf = switches[0];
+    FaultTimeline::new()
+        .link_flap(Time(2_000_000), Dur::millis(1), leaf, 0)
+        .host_stall(Time(6_000_000), Dur::millis(2), hosts[3])
+        .loss_burst(Time(12_000_000), Dur::millis(1), leaf, 1, 300)
+        .policy_reset(Time(20_000_000), leaf, 2)
+        .install(sim.core_mut());
+    sim.run();
+    maybe_export(sim.core(), "leaf_spine(4x6)", "sched-equivalence chaos");
+}
+
+fn read(dir: &Path, run: &str, file: &str) -> Vec<u8> {
+    let p = dir.join(run).join(file);
+    std::fs::read(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
+}
+
+const ARTIFACTS: [&str; 5] = [
+    "manifest.json",
+    "counters.json",
+    "events.json",
+    "flows.json",
+    "tfc_slots.csv",
+];
+
+#[test]
+fn wheel_reproduces_heap_artifacts_byte_for_byte() {
+    let base = std::env::temp_dir().join("tfc_sched_equiv_test");
+    std::fs::remove_dir_all(&base).ok();
+    let dir_of = |kind: SchedulerKind| -> PathBuf {
+        let dir = base.join(format!("{kind:?}"));
+        std::env::set_var("TFC_RESULTS_DIR", &dir);
+        run_incast(kind);
+        run_chaos(kind);
+        dir
+    };
+    let heap_dir = dir_of(SchedulerKind::RefHeap);
+    let wheel_dir = dir_of(SchedulerKind::Wheel);
+    std::env::remove_var("TFC_RESULTS_DIR");
+
+    for run in ["equiv_incast", "equiv_chaos"] {
+        for file in ARTIFACTS {
+            let heap = read(&heap_dir, run, file);
+            let wheel = read(&wheel_dir, run, file);
+            assert!(!heap.is_empty(), "{run}/{file} is empty");
+            assert_eq!(
+                heap, wheel,
+                "{run}/{file} differs between RefHeap and Wheel"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
