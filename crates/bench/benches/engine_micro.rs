@@ -66,11 +66,14 @@ fn port_queue_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("port_queue");
     g.throughput(Throughput::Elements(1_000));
     g.bench_function("enqueue_dequeue_1k", |b| {
+        let mut arena = simnet::PacketArena::new();
         let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, MSS);
+        let wire = pkt.wire_bytes();
+        let id = arena.alloc(pkt);
         b.iter(|| {
             let mut q = PortQueue::new(16 << 20);
             for _ in 0..1_000 {
-                q.enqueue(pkt.clone());
+                q.enqueue(id, wire);
             }
             while let Some(p) = q.dequeue() {
                 black_box(p);

@@ -1,12 +1,13 @@
 //! `tfc-scale-bench`: the simulation-core scale suite.
 //!
 //! Runs three scenarios — the paper's 360-host leaf-spine at 10 Gbps
-//! edge links, a wide incast fan-in, and a chaos fault timeline — once
-//! under the reference binary-heap scheduler and once under the timing
-//! wheel. For each, it checks the two backends produced *identical*
-//! simulations (same event count, same delivered bytes) and records
-//! wall-clock events/sec for both, writing
-//! `results/bench/BENCH_scale.json`.
+//! edge links, a wide incast fan-in, and a chaos fault timeline — under
+//! three scheduling variants: the reference binary-heap scheduler, the
+//! timing wheel with batch dispatch off, and the timing wheel with
+//! same-tick batch coalescing (the default). For each scenario, it
+//! checks all variants produced *identical* simulations (same event
+//! count, same delivered bytes) and records wall-clock events/sec,
+//! writing `results/bench/BENCH_scale.json`.
 //!
 //! `--quick` shortens every horizon for CI smoke use (`scripts/verify.sh`).
 
@@ -24,16 +25,17 @@ use simnet::SchedulerKind;
 use telemetry::export::{git_describe, results_dir};
 use telemetry::json::{self, Value};
 
-/// One scenario, parameterized only by the scheduler backend.
+/// One scenario, parameterized by the scheduler backend and whether
+/// same-tick batch dispatch is on.
 struct Scenario {
     name: &'static str,
     hosts: usize,
     flows: usize,
     sim_ms: u64,
-    run: Box<dyn Fn(SchedulerKind) -> (u64, u64)>,
+    run: Box<dyn Fn(SchedulerKind, bool) -> (u64, u64)>,
 }
 
-/// Backend-agnostic run outcome used for the cross-backend identity
+/// Variant-agnostic run outcome used for the cross-variant identity
 /// check: `(events_processed, total delivered bytes)`.
 fn outcome<A: simnet::app::Application>(sim: &Simulator<A>) -> (u64, u64) {
     (
@@ -42,10 +44,11 @@ fn outcome<A: simnet::app::Application>(sim: &Simulator<A>) -> (u64, u64) {
     )
 }
 
-fn cfg(kind: SchedulerKind, end_ms: u64) -> SimConfig {
+fn cfg(kind: SchedulerKind, coalesce: bool, end_ms: u64) -> SimConfig {
     SimConfig {
         end: Some(Time(Dur::millis(end_ms).as_nanos())),
         scheduler: kind,
+        coalesce,
         ..Default::default()
     }
 }
@@ -58,7 +61,7 @@ fn leaf_spine_360(sim_ms: u64, flows: usize) -> Scenario {
         hosts: 360,
         flows,
         sim_ms,
-        run: Box::new(move |kind| {
+        run: Box::new(move |kind, coalesce| {
             let (t, hosts, _) = leaf_spine(
                 18,
                 20,
@@ -71,7 +74,7 @@ fn leaf_spine_360(sim_ms: u64, flows: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, sim_ms),
+                cfg(kind, coalesce, sim_ms),
             );
             let mut rng = rng::rngs::StdRng::seed_from_u64(2024);
             for _ in 0..flows {
@@ -96,7 +99,7 @@ fn incast_fanin(sim_ms: u64, senders: usize) -> Scenario {
         hosts: senders + 1,
         flows: senders,
         sim_ms,
-        run: Box::new(move |kind| {
+        run: Box::new(move |kind, coalesce| {
             let (t, hosts, _) = star(senders + 1, Bandwidth::gbps(10), Dur::micros(10));
             let receiver = hosts[0];
             let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
@@ -104,7 +107,7 @@ fn incast_fanin(sim_ms: u64, senders: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, sim_ms),
+                cfg(kind, coalesce, sim_ms),
             );
             for (i, &src) in hosts[1..].iter().enumerate() {
                 sim.core_mut().start_flow(FlowSpec::sized(
@@ -127,7 +130,7 @@ fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
         hosts: 48,
         flows,
         sim_ms,
-        run: Box::new(move |kind| {
+        run: Box::new(move |kind, coalesce| {
             let (t, hosts, switches) = leaf_spine(
                 6,
                 8,
@@ -140,7 +143,7 @@ fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, sim_ms),
+                cfg(kind, coalesce, sim_ms),
             );
             for i in 0..flows {
                 let src = hosts[i % hosts.len()];
@@ -168,23 +171,34 @@ struct Row {
     sim_ms: u64,
     events: u64,
     heap_wall_ms: f64,
+    wheel_nobatch_wall_ms: f64,
     wheel_wall_ms: f64,
     heap_events_per_sec: f64,
+    wheel_nobatch_events_per_sec: f64,
     wheel_events_per_sec: f64,
+    /// Wheel+batching vs reference heap.
     speedup: f64,
+    /// Wheel+batching vs wheel without batching (batching alone).
+    batch_speedup: f64,
 }
 
 fn bench(s: &Scenario) -> Row {
-    let timed = |kind| {
+    let timed = |kind, coalesce| {
         let t0 = Instant::now();
-        let out = (s.run)(kind);
+        let out = (s.run)(kind, coalesce);
         (out, t0.elapsed().as_secs_f64())
     };
-    let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap);
-    let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel);
+    let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap, false);
+    let (nobatch_out, nobatch_secs) = timed(SchedulerKind::Wheel, false);
+    let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel, true);
+    assert_eq!(
+        heap_out, nobatch_out,
+        "{}: wheel diverged from heap (events, delivered)",
+        s.name
+    );
     assert_eq!(
         heap_out, wheel_out,
-        "{}: backends diverged (events, delivered)",
+        "{}: batched wheel diverged from heap (events, delivered)",
         s.name
     );
     let events = heap_out.0;
@@ -195,10 +209,13 @@ fn bench(s: &Scenario) -> Row {
         sim_ms: s.sim_ms,
         events,
         heap_wall_ms: heap_secs * 1e3,
+        wheel_nobatch_wall_ms: nobatch_secs * 1e3,
         wheel_wall_ms: wheel_secs * 1e3,
         heap_events_per_sec: events as f64 / heap_secs,
+        wheel_nobatch_events_per_sec: events as f64 / nobatch_secs,
         wheel_events_per_sec: events as f64 / wheel_secs,
         speedup: heap_secs / wheel_secs,
+        batch_speedup: nobatch_secs / wheel_secs,
     }
 }
 
@@ -210,10 +227,13 @@ fn row_json(r: &Row) -> Value {
         "sim_ms": r.sim_ms,
         "events": r.events,
         "heap_wall_ms": r.heap_wall_ms,
+        "wheel_nobatch_wall_ms": r.wheel_nobatch_wall_ms,
         "wheel_wall_ms": r.wheel_wall_ms,
         "heap_events_per_sec": r.heap_events_per_sec,
+        "wheel_nobatch_events_per_sec": r.wheel_nobatch_events_per_sec,
         "wheel_events_per_sec": r.wheel_events_per_sec,
         "speedup": r.speedup,
+        "batch_speedup": r.batch_speedup,
     })
 }
 
@@ -238,8 +258,13 @@ fn main() {
         eprintln!("running {} ({} hosts, {} flows, {} ms)...", s.name, s.hosts, s.flows, s.sim_ms);
         let row = bench(s);
         eprintln!(
-            "  {} events; heap {:.0} ev/s, wheel {:.0} ev/s, speedup {:.2}x",
-            row.events, row.heap_events_per_sec, row.wheel_events_per_sec, row.speedup
+            "  {} events; heap {:.0} ev/s, wheel {:.0} ev/s, wheel+batch {:.0} ev/s, speedup {:.2}x (batching {:.2}x)",
+            row.events,
+            row.heap_events_per_sec,
+            row.wheel_nobatch_events_per_sec,
+            row.wheel_events_per_sec,
+            row.speedup,
+            row.batch_speedup,
         );
         rows.push(row);
     }
@@ -250,7 +275,7 @@ fn main() {
         .map(|r| r.speedup)
         .expect("leaf-spine scenario present");
     let doc = telemetry::json!({
-        "schema": "tfc-bench-scale/v1",
+        "schema": "tfc-bench-scale/v2",
         "mode": if quick { "quick" } else { "full" },
         "git": git_describe().as_str(),
         "scenarios": Value::Array(rows.iter().map(row_json).collect()),
@@ -268,7 +293,7 @@ fn main() {
         .expect("BENCH_scale.json parses");
     assert_eq!(
         parsed.get("schema").and_then(Value::as_str),
-        Some("tfc-bench-scale/v1")
+        Some("tfc-bench-scale/v2")
     );
     let scen = parsed
         .get("scenarios")
@@ -276,7 +301,11 @@ fn main() {
         .expect("scenarios array");
     assert!(!scen.is_empty(), "no scenarios recorded");
     for s in scen {
-        for key in ["heap_events_per_sec", "wheel_events_per_sec"] {
+        for key in [
+            "heap_events_per_sec",
+            "wheel_nobatch_events_per_sec",
+            "wheel_events_per_sec",
+        ] {
             let v = s.get(key).and_then(Value::as_f64).expect("rate present");
             assert!(v > 0.0, "{key} must be positive");
         }

@@ -3,12 +3,18 @@
 //! The queue that orders them lives in [`crate::sched`]; the historical
 //! `event::EventQueue` path is preserved via re-export.
 
+use crate::arena::PacketId;
 use crate::fault::FaultAction;
-use crate::packet::{NodeId, Packet};
+use crate::packet::NodeId;
 
 pub use crate::sched::{EventQueue, SchedulerKind, TimerHandle};
 
 /// A scheduled simulation event.
+///
+/// Packet-bearing events carry a [`PacketId`] into the simulation's
+/// [`crate::arena::PacketArena`], not an owned packet: entries stay
+/// small and `Copy`-cheap through the scheduler, and the packet itself
+/// is written once at allocation and borrowed everywhere after.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A packet finished propagating and arrives at `node` on `port`.
@@ -17,8 +23,8 @@ pub enum Event {
         node: NodeId,
         /// Ingress port index at the receiving node.
         port: usize,
-        /// The packet.
-        pkt: Packet,
+        /// The packet's arena id.
+        pkt: PacketId,
     },
     /// `node` finished serialising the packet currently occupying `port`.
     TxDone {
@@ -58,8 +64,8 @@ pub enum Event {
     NicEnqueue {
         /// The host.
         node: NodeId,
-        /// The packet.
-        pkt: Packet,
+        /// The packet's arena id.
+        pkt: PacketId,
     },
     /// A scripted fault takes effect (chaos timeline).
     Fault {

@@ -14,6 +14,11 @@ use crate::packet::FlowId;
 #[derive(Debug)]
 pub struct FlowMap<T> {
     slots: Vec<Option<T>>,
+    /// Per-slot generation, bumped every time an entry is removed. A
+    /// stale actor holding a flow id across teardown and re-insert can
+    /// compare generations to tell the new occupant from the state it
+    /// remembers — dead state is never resurrected by id reuse.
+    gens: Vec<u32>,
     len: usize,
 }
 
@@ -28,6 +33,7 @@ impl<T> FlowMap<T> {
     pub fn new() -> Self {
         FlowMap {
             slots: Vec::new(),
+            gens: Vec::new(),
             len: 0,
         }
     }
@@ -63,6 +69,7 @@ impl<T> FlowMap<T> {
         let idx = id.0 as usize;
         if idx >= self.slots.len() {
             self.slots.resize_with(idx + 1, || None);
+            self.gens.resize(idx + 1, 0);
         }
         let old = self.slots[idx].replace(value);
         if old.is_none() {
@@ -71,13 +78,23 @@ impl<T> FlowMap<T> {
         old
     }
 
-    /// Removes and returns the entry for `id`, if any.
+    /// Removes and returns the entry for `id`, if any. Removal bumps the
+    /// slot's generation (see [`generation`](Self::generation)).
     pub fn remove(&mut self, id: FlowId) -> Option<T> {
         let old = self.slots.get_mut(id.0 as usize).and_then(Option::take);
         if old.is_some() {
+            self.gens[id.0 as usize] = self.gens[id.0 as usize].wrapping_add(1);
             self.len -= 1;
         }
         old
+    }
+
+    /// Generation of `id`'s slot: 0 until the first removal, then +1 per
+    /// removal. A `(FlowId, generation)` pair uniquely names one
+    /// occupancy of the slot, so state captured before a teardown can be
+    /// recognised as stale after the id is reused.
+    pub fn generation(&self, id: FlowId) -> u32 {
+        self.gens.get(id.0 as usize).copied().unwrap_or(0)
     }
 
     /// Iterates entries in flow-id order.
@@ -117,6 +134,48 @@ mod tests {
         assert_eq!(m.remove(FlowId(3)), None);
         assert_eq!(m.remove(FlowId(999)), None);
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_generations_distinct() {
+        // Grow, retire, and reinsert under the same flow id: each
+        // occupancy gets its own generation, so a stale reference to a
+        // dead flow can never be confused with the slot's new tenant.
+        let mut m: FlowMap<&str> = FlowMap::new();
+        let id = FlowId(4);
+        assert_eq!(m.generation(id), 0, "untouched slot");
+        m.insert(id, "first");
+        assert_eq!(m.generation(id), 0, "insert does not bump");
+        let before = m.generation(id);
+        assert_eq!(m.remove(id), Some("first"));
+        assert_eq!(m.generation(id), before + 1, "remove bumps");
+        m.insert(id, "second");
+        assert_eq!(m.generation(id), before + 1);
+        assert_eq!(
+            m.get(id),
+            Some(&"second"),
+            "reused slot holds the new state only"
+        );
+        assert_eq!(m.remove(id), Some("second"));
+        assert_eq!(m.generation(id), before + 2, "one bump per occupancy");
+        assert_eq!(m.get(id), None, "dead state is not resurrected");
+    }
+
+    #[test]
+    fn generation_survives_failed_removes_and_growth() {
+        let mut m: FlowMap<u8> = FlowMap::new();
+        m.insert(FlowId(1), 1);
+        m.remove(FlowId(1));
+        assert_eq!(m.generation(FlowId(1)), 1);
+        // Removing an empty or out-of-range slot bumps nothing.
+        m.remove(FlowId(1));
+        m.remove(FlowId(50));
+        assert_eq!(m.generation(FlowId(1)), 1);
+        assert_eq!(m.generation(FlowId(50)), 0, "beyond the slab");
+        // Growing the slab preserves earlier generations.
+        m.insert(FlowId(9), 9);
+        assert_eq!(m.generation(FlowId(1)), 1);
+        assert_eq!(m.generation(FlowId(9)), 0);
     }
 
     #[test]

@@ -7,23 +7,57 @@
 //! profiling) hook in. Keeping the handlers out of `sim.rs` keeps the
 //! monolithic dispatch loop from re-growing and gives each event kind a
 //! profiling boundary that matches a single function.
+//!
+//! Packets live in the [`crate::arena::PacketArena`]; events carry ids.
+//! Handlers borrow the slot (disjoint field borrows against the node
+//! table) and free it on every terminal path: delivery to an endpoint,
+//! tail drop, fault loss, or policy consumption. The hot path performs
+//! zero packet clones.
+//!
+//! # Batched dispatch
+//!
+//! [`SimCore::handle_event`] coalesces a run of *consecutive* arrivals
+//! popped at the same `(time, switch, port)` into one batched handler
+//! call, paying the dispatch overhead (kind match, stats bump, borrow
+//! setup) once per batch. This cannot change behaviour: the run is
+//! collected with [`EventQueue::pop_if`], which pops an event only when
+//! it is already the queue minimum *and* extends the run, so batch
+//! members are dispatched in exactly the `(time, seq)` order the queue
+//! would have produced one at a time — the determinism invariant is
+//! untouched, and a declined event never moves. Only switch arrivals
+//! batch: a host arrival can enqueue application upcalls, and those
+//! drain between events.
 
 use rng::rngs::StdRng;
 use rng::Rng;
 use telemetry::{Telemetry, TraceEvent};
 
+use crate::arena::{PacketArena, PacketId};
 use crate::endpoint::Effects;
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultAction;
 use crate::node::Node;
-use crate::packet::{Flags, FlowId, NodeId, Packet};
+use crate::packet::{Flags, FlowId, NodeId};
 use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
 use crate::sim::{AppCall, PacketEventKind, SimCore};
 use crate::units::Time;
 
+/// Kind index of [`Event::Arrival`] in [`Event::KIND_NAMES`].
+const ARRIVAL_KIND: usize = 0;
+
 impl SimCore {
-    /// Counts, optionally profiles, and dispatches one event.
+    /// Counts, optionally profiles, and dispatches one event — or, for
+    /// switch arrivals with coalescing on, the whole same-time
+    /// same-port run it starts.
     pub(crate) fn handle_event(&mut self, ev: Event) {
+        if self.cfg.coalesce {
+            if let Event::Arrival { node, port, pkt } = ev {
+                if matches!(self.nodes[node.0 as usize], Node::Switch(_)) {
+                    self.switch_arrival_batch(node, port, pkt);
+                    return;
+                }
+            }
+        }
         let kind = ev.kind_index();
         self.telemetry.loop_stats.count(kind);
         if self.telemetry.loop_stats.profiled() {
@@ -35,6 +69,47 @@ impl SimCore {
         } else {
             self.dispatch_event(ev);
         }
+    }
+
+    /// Collects the run of consecutive same-time arrivals at one switch
+    /// port starting with `first`, then dispatches them as a batch (one
+    /// stats bump, one profiling span). See the module docs for why
+    /// this preserves the per-event order exactly.
+    fn switch_arrival_batch(&mut self, node: NodeId, port: usize, first: PacketId) {
+        debug_assert_eq!(Event::KIND_NAMES[ARRIVAL_KIND], "arrival");
+        let now = self.now;
+        let mut batch = std::mem::take(&mut self.arrival_batch);
+        debug_assert!(batch.is_empty());
+        batch.push(first);
+        while let Some((_, ev)) = self.events.pop_if(|t, ev| {
+            t == now
+                && matches!(ev, Event::Arrival { node: n, port: p, .. }
+                    if *n == node && *p == port)
+        }) {
+            let Event::Arrival { pkt, .. } = ev else {
+                unreachable!("pop_if predicate admits arrivals only")
+            };
+            batch.push(pkt);
+        }
+        self.telemetry
+            .loop_stats
+            .count_batch(ARRIVAL_KIND, batch.len() as u64);
+        if self.telemetry.loop_stats.profiled() {
+            let t0 = std::time::Instant::now();
+            for &pkt in &batch {
+                self.on_arrival(node, port, pkt);
+            }
+            self.telemetry
+                .loop_stats
+                .add_nanos(ARRIVAL_KIND, t0.elapsed().as_nanos() as u64);
+        } else {
+            for &pkt in &batch {
+                self.on_arrival(node, port, pkt);
+            }
+        }
+        self.events_processed += batch.len() as u64;
+        batch.clear();
+        self.arrival_batch = batch;
     }
 
     fn dispatch_event(&mut self, ev: Event) {
@@ -54,35 +129,40 @@ impl SimCore {
     }
 
     /// A packet emitted by an endpoint reaches its host's NIC queue.
-    fn on_nic_enqueue(&mut self, node: NodeId, pkt: Packet) {
-        let n = &mut self.nodes[node.0 as usize];
-        if let Node::Host(h) = n {
+    fn on_nic_enqueue(&mut self, node: NodeId, pkt: PacketId) {
+        if let Node::Host(h) = &mut self.nodes[node.0 as usize] {
             if h.stalled {
                 // A stalled host emits nothing, silently.
                 h.nic.fault_drops += 1;
+                self.packets.free(pkt);
                 return;
             }
         }
-        Self::enqueue_and_kick(
-            n,
+        let accepted = Self::enqueue_and_kick(
+            &mut self.nodes[node.0 as usize],
             0,
             pkt,
+            &self.packets,
             self.now,
             &mut self.events,
             &mut self.fault_rng,
             &mut self.telemetry,
         );
+        if !accepted {
+            self.packets.free(pkt);
+        }
     }
 
     /// A packet finishes propagating into `node` on `port`.
-    fn on_arrival(&mut self, node: NodeId, port: usize, pkt: Packet) {
+    fn on_arrival(&mut self, node: NodeId, port: usize, pkt: PacketId) {
         if !self.nodes[node.0 as usize].port(port).up {
             // The packet propagated into a link that died under it:
             // lost without trace at the receiving end.
-            self.record_fault_drop(node, port, &pkt);
+            self.record_fault_drop(node, port, pkt);
+            self.packets.free(pkt);
             return;
         }
-        self.log_packet(node, PacketEventKind::Arrival, &pkt);
+        self.log_packet(node, PacketEventKind::Arrival, pkt);
         match &self.nodes[node.0 as usize] {
             Node::Switch(_) => self.switch_ingress(node, port, pkt),
             Node::Host(_) => self.host_receive(node, pkt),
@@ -143,10 +223,12 @@ impl SimCore {
     }
 
     /// Counts (and, with telemetry, records) a packet lost to a fault at
-    /// `node`'s `port`.
-    fn record_fault_drop(&mut self, node: NodeId, port: usize, pkt: &Packet) {
-        let wire = pkt.wire_bytes();
-        let (flow, seq) = (pkt.flow.0, pkt.seq);
+    /// `node`'s `port`. The caller frees the arena slot.
+    fn record_fault_drop(&mut self, node: NodeId, port: usize, pkt: PacketId) {
+        let (wire, flow, seq) = {
+            let p = self.packets.get(pkt);
+            (p.wire_bytes(), p.flow.0, p.seq)
+        };
         self.nodes[node.0 as usize].port_mut(port).fault_drops += 1;
         if self.telemetry.log.enabled() {
             self.telemetry.log.record(
@@ -166,11 +248,14 @@ impl SimCore {
     /// is idle. Drops (with accounting in the queue) on overflow, and
     /// loses the packet outright on a downed link or an active loss
     /// window (fault accounting). Returns whether the packet was
-    /// accepted.
+    /// accepted; on `false`, the caller still owns the arena slot and
+    /// must free it (after any logging it wants to do from the borrow).
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_and_kick(
         node: &mut Node,
         port_idx: usize,
-        pkt: Packet,
+        pkt: PacketId,
+        arena: &PacketArena,
         now: Time,
         events: &mut EventQueue,
         fault_rng: &mut StdRng,
@@ -178,8 +263,11 @@ impl SimCore {
     ) -> bool {
         let id = node.id();
         let port = node.port_mut(port_idx);
-        let wire = pkt.wire_bytes();
-        let meta = tel.log.enabled().then(|| (pkt.flow.0, pkt.seq));
+        let (wire, flow, seq) = {
+            let p = arena.get(pkt);
+            (p.wire_bytes(), p.flow.0, p.seq)
+        };
+        let meta = tel.log.enabled().then_some((flow, seq));
         // The fault RNG is only drawn inside an active loss window, so
         // fault-free runs are byte-identical to pre-fault-layer ones.
         let lost = !port.up
@@ -201,7 +289,7 @@ impl SimCore {
             }
             return false;
         }
-        let accepted = port.queue.enqueue(pkt);
+        let accepted = port.queue.enqueue(pkt, wire);
         if let Some((flow, seq)) = meta {
             let event = if accepted {
                 TraceEvent::PktEnqueue {
@@ -239,52 +327,60 @@ impl SimCore {
 
     fn tx_done(&mut self, node: NodeId, port_idx: usize) {
         let now = self.now;
-        let n = &mut self.nodes[node.0 as usize];
-        let port = n.port_mut(port_idx);
-        let pkt = port
-            .queue
-            .dequeue()
-            .expect("TxDone with empty queue: transmitter state corrupt");
         // A downed link keeps draining its FIFO at line rate, but every
         // serialised packet falls into the void; the transmitter never
         // stops, so no re-kick is needed when the link comes back.
-        let up = port.up;
-        if up {
-            port.tx_bytes += pkt.wire_bytes();
-        } else {
-            port.fault_drops += 1;
-        }
+        let (pkt, wire, up, link) = {
+            let port = self.nodes[node.0 as usize].port_mut(port_idx);
+            let (pkt, wire) = port
+                .queue
+                .dequeue()
+                .expect("TxDone with empty queue: transmitter state corrupt");
+            let up = port.up;
+            if up {
+                port.tx_bytes += wire;
+            } else {
+                port.fault_drops += 1;
+            }
+            (pkt, wire, up, port.link)
+        };
         if self.telemetry.log.enabled() {
+            let (flow, seq) = {
+                let p = self.packets.get(pkt);
+                (p.flow.0, p.seq)
+            };
             let ev = if up {
                 TraceEvent::PktDequeue {
                     node: node.0,
                     port: port_idx as u16,
-                    flow: pkt.flow.0,
-                    seq: pkt.seq,
-                    bytes: pkt.wire_bytes(),
+                    flow,
+                    seq,
+                    bytes: wire,
                 }
             } else {
                 TraceEvent::PktDrop {
                     node: node.0,
                     port: port_idx as u16,
-                    flow: pkt.flow.0,
-                    seq: pkt.seq,
-                    bytes: pkt.wire_bytes(),
+                    flow,
+                    seq,
+                    bytes: wire,
                 }
             };
             self.telemetry.log.record(now.nanos(), ev);
         }
-        let link = port.link;
-        let next_ser = if port.queue.is_empty() {
-            port.busy = false;
-            None
-        } else {
-            // The head packet determines the next serialisation time.
-            let head_wire = port
-                .queue
-                .peek_wire_bytes()
-                .expect("non-empty queue has a head");
-            Some(link.rate.serialize(head_wire))
+        let next_ser = {
+            let port = self.nodes[node.0 as usize].port_mut(port_idx);
+            if port.queue.is_empty() {
+                port.busy = false;
+                None
+            } else {
+                // The head packet determines the next serialisation time.
+                let head_wire = port
+                    .queue
+                    .peek_wire_bytes()
+                    .expect("non-empty queue has a head");
+                Some(port.link.rate.serialize(head_wire))
+            }
         };
         if let Some(ser) = next_ser {
             self.events.schedule(
@@ -304,43 +400,56 @@ impl SimCore {
                     pkt,
                 },
             );
+        } else {
+            self.packets.free(pkt);
         }
     }
 
-    fn switch_ingress(&mut self, node: NodeId, in_port: usize, mut pkt: Packet) {
+    fn switch_ingress(&mut self, node: NodeId, in_port: usize, pkt: PacketId) {
         let now = self.now;
         let mut fx = PolicyFx::new();
         let forward = {
             let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
                 unreachable!()
             };
-            match sw.policy.on_ingress(in_port, &mut pkt, now, &mut fx) {
+            match sw
+                .policy
+                .on_ingress(in_port, self.packets.get_mut(pkt), now, &mut fx)
+            {
                 IngressVerdict::Forward => true,
                 IngressVerdict::Consume => false,
             }
         };
         if forward {
             self.switch_egress(node, pkt, true);
+        } else {
+            // Consumed (e.g. the TFC delay arbiter holds its own copy);
+            // the in-fabric slot is done.
+            self.packets.free(pkt);
         }
         self.apply_policy_fx(node, fx);
     }
 
     /// Routes and enqueues a packet at a switch, optionally running the
     /// egress policy hook (skipped for policy-injected packets).
-    fn switch_egress(&mut self, node: NodeId, mut pkt: Packet, run_hook: bool) {
+    fn switch_egress(&mut self, node: NodeId, pkt: PacketId, run_hook: bool) {
         let now = self.now;
-        let ce_before = pkt.flags.contains(Flags::CE);
+        let (ce_before, dst) = {
+            let p = self.packets.get(pkt);
+            (p.flags.contains(Flags::CE), p.dst)
+        };
         let mut fx = PolicyFx::new();
         let enqueue = {
             let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
                 unreachable!()
             };
-            let Some(out) = sw.route(pkt.dst) else {
-                panic!("switch {node:?} has no route to {:?}", pkt.dst);
+            let Some(out) = sw.route(dst) else {
+                panic!("switch {node:?} has no route to {dst:?}");
             };
             let verdict = if run_hook {
                 let qbytes = sw.ports[out].queue.bytes();
-                sw.policy.on_egress(out, &mut pkt, qbytes, now, &mut fx)
+                sw.policy
+                    .on_egress(out, self.packets.get_mut(pkt), qbytes, now, &mut fx)
             } else {
                 EgressVerdict::Enqueue
             };
@@ -350,22 +459,23 @@ impl SimCore {
             }
         };
         if let Some(out) = enqueue {
-            let log_copy = (self.cfg.packet_log > 0).then(|| pkt.clone());
-            // The egress hook may have marked the packet; capture what the
-            // telemetry events need before the packet moves into the queue.
+            // The egress hook may have marked the packet; capture what
+            // the telemetry events need from a borrow of the arena slot.
             let marks = self.telemetry.log.enabled().then(|| {
+                let p = self.packets.get(pkt);
                 (
-                    pkt.flow.0,
-                    pkt.seq,
-                    !ce_before && pkt.flags.contains(Flags::CE),
-                    pkt.flags.contains(Flags::RM),
-                    pkt.window,
+                    p.flow.0,
+                    p.seq,
+                    !ce_before && p.flags.contains(Flags::CE),
+                    p.flags.contains(Flags::RM),
+                    p.window,
                 )
             });
             let accepted = Self::enqueue_and_kick(
                 &mut self.nodes[node.0 as usize],
                 out,
                 pkt,
+                &self.packets,
                 now,
                 &mut self.events,
                 &mut self.fault_rng,
@@ -397,9 +507,15 @@ impl SimCore {
                         );
                     }
                 }
-            } else if let Some(p) = log_copy {
-                self.log_packet(node, PacketEventKind::Drop, &p);
+            } else {
+                // Rejected at the FIFO (overflow or fault loss): log
+                // the drop from the arena borrow, then recycle the slot.
+                self.log_packet(node, PacketEventKind::Drop, pkt);
+                self.packets.free(pkt);
             }
+        } else {
+            // Policy-initiated drop: silent, as the pre-arena core was.
+            self.packets.free(pkt);
         }
         self.apply_policy_fx(node, fx);
     }
@@ -424,6 +540,8 @@ impl SimCore {
             self.trace.record(&key, self.now, value);
         }
         for pkt in fx.inject {
+            // Policy-owned packets (re)enter the fabric here.
+            let pkt = self.packets.alloc(pkt);
             self.switch_egress(node, pkt, false);
         }
         for mut sample in fx.slot_samples {
@@ -518,9 +636,12 @@ impl SimCore {
         h.stalled = stalled;
     }
 
-    fn host_receive(&mut self, node: NodeId, pkt: Packet) {
+    fn host_receive(&mut self, node: NodeId, pkt: PacketId) {
         let now = self.now;
-        let flow = pkt.flow;
+        let (flow, is_ack, ack) = {
+            let p = self.packets.get(pkt);
+            (p.flow, p.flags.contains(Flags::ACK), p.ack)
+        };
         {
             let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
                 unreachable!()
@@ -528,32 +649,41 @@ impl SimCore {
             if h.stalled {
                 // A stalled host's endpoints see nothing.
                 h.nic.fault_drops += 1;
+                self.packets.free(pkt);
                 return;
             }
         }
-        if self.telemetry.log.enabled() && pkt.flags.contains(Flags::ACK) {
+        if self.telemetry.log.enabled() && is_ack {
             self.telemetry.log.record(
                 now.nanos(),
                 TraceEvent::PktAck {
                     node: node.0,
                     flow: flow.0,
-                    ack: pkt.ack,
+                    ack,
                 },
             );
         }
         let mut fx = Effects::new();
-        {
+        let known = {
             let Node::Host(h) = &mut self.nodes[node.0 as usize] else {
                 unreachable!()
             };
+            let p = self.packets.get(pkt);
             if let Some(s) = h.senders.get_mut(flow) {
-                s.on_packet(&pkt, now, &mut fx);
+                s.on_packet(p, now, &mut fx);
+                true
             } else if let Some(r) = h.receivers.get_mut(flow) {
-                r.on_packet(&pkt, now, &mut fx);
+                r.on_packet(p, now, &mut fx);
+                true
             } else {
-                return; // Stale packet of a torn-down flow.
+                false // Stale packet of a torn-down flow.
             }
+        };
+        // The endpoint has seen the packet; the slot is recyclable
+        // before effects apply (effects never reference the packet).
+        self.packets.free(pkt);
+        if known {
+            self.apply_host_fx(node, flow, fx);
         }
-        self.apply_host_fx(node, flow, fx);
     }
 }

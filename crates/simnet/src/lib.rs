@@ -34,6 +34,7 @@
 //! ```
 
 pub mod app;
+pub mod arena;
 pub mod endpoint;
 pub mod event;
 pub mod fault;
@@ -50,6 +51,7 @@ pub mod trace;
 pub mod units;
 
 pub use app::{Application, FlowEvent, NullApp};
+pub use arena::{PacketArena, PacketId};
 pub use endpoint::{Effects, FlowSpec, Note, ProtocolStack, ReceiverEndpoint, SenderEndpoint};
 pub use fault::FaultAction;
 pub use flowtable::FlowMap;

@@ -232,11 +232,15 @@ mod tests {
     #[test]
     fn total_drops_sums_ports() {
         let mut sw = switch();
+        let mut arena = crate::arena::PacketArena::new();
         let big =
             crate::packet::Packet::data(crate::packet::FlowId(0), NodeId(9), NodeId(1), 0, 1460);
-        assert!(!sw.ports[0].queue.enqueue(big.clone()), "over capacity");
-        assert!(!sw.ports[1].queue.enqueue(big), "over capacity");
+        let wire = big.wire_bytes();
+        let id = arena.alloc(big);
+        assert!(!sw.ports[0].queue.enqueue(id, wire), "over capacity");
+        assert!(!sw.ports[1].queue.enqueue(id, wire), "over capacity");
         assert_eq!(sw.total_drops(), 2);
+        arena.free(id);
     }
 
     #[test]

@@ -119,7 +119,13 @@ impl fmt::Display for Flags {
 /// `src`/`dst` are the *host* endpoints of the flow's current direction:
 /// data packets carry `src = sender host`, ACKs carry `src = receiver
 /// host`. Switches route on `dst`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Clone` is implemented manually (not derived) so every copy is
+/// counted in a thread-local tally, keeping the hot path honest: the
+/// forwarding pipeline stores packets in the [`crate::arena`] and moves
+/// ids, so a steady-state delivery performs zero clones — a property
+/// pinned by regression tests via [`thread_packet_clones`].
+#[derive(Debug, PartialEq)]
 pub struct Packet {
     /// Flow this packet belongs to.
     pub flow: FlowId,
@@ -144,6 +150,35 @@ pub struct Packet {
     pub weight: u8,
     /// Time the packet left its originating host (for diagnostics).
     pub sent_at: Time,
+}
+
+std::thread_local! {
+    static PACKET_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Packet`] clones performed on the current thread since it
+/// started. Rust runs tests on separate threads, so delta measurements
+/// against this counter are race-free.
+pub fn thread_packet_clones() -> u64 {
+    PACKET_CLONES.with(std::cell::Cell::get)
+}
+
+impl Clone for Packet {
+    fn clone(&self) -> Self {
+        PACKET_CLONES.with(|c| c.set(c.get() + 1));
+        Packet {
+            flow: self.flow,
+            src: self.src,
+            dst: self.dst,
+            seq: self.seq,
+            ack: self.ack,
+            payload: self.payload,
+            flags: self.flags,
+            window: self.window,
+            weight: self.weight,
+            sent_at: self.sent_at,
+        }
+    }
 }
 
 impl Packet {
@@ -259,6 +294,15 @@ mod tests {
         let ack = Packet::ack(FlowId(1), NodeId(1), NodeId(0), 10);
         assert!(ack.is_pure_ack());
         assert!(!ack.is_data());
+    }
+
+    #[test]
+    fn clone_counter_tallies_per_thread() {
+        let p = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 10);
+        let before = thread_packet_clones();
+        let q = p.clone();
+        assert_eq!(q, p);
+        assert_eq!(thread_packet_clones() - before, 1);
     }
 
     #[test]

@@ -2,30 +2,38 @@
 
 use std::collections::VecDeque;
 
-use crate::packet::Packet;
+use crate::arena::PacketId;
 
 /// A byte-bounded FIFO for one output port.
 ///
-/// Drops happen at enqueue time when the packet would push the backlog
-/// over `capacity_bytes` (tail drop). The queue counts drops and tracks
-/// the high-water mark for reporting.
+/// The queue holds `(PacketId, wire_bytes)` pairs — the packets
+/// themselves stay in the simulation's [`crate::arena::PacketArena`] —
+/// so enqueue and dequeue move 16 bytes regardless of payload. Drops
+/// happen at enqueue time when the packet would push the backlog over
+/// `capacity_bytes` (tail drop). The queue counts drops and tracks the
+/// high-water mark for reporting.
 ///
 /// # Examples
 ///
 /// ```
+/// use tfc_simnet::arena::PacketArena;
 /// use tfc_simnet::packet::{FlowId, NodeId, Packet};
 /// use tfc_simnet::queue::PortQueue;
 ///
+/// let mut arena = PacketArena::new();
 /// let mut q = PortQueue::new(3_000);
-/// let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460);
-/// assert!(q.enqueue(pkt.clone()));
-/// assert!(q.enqueue(pkt.clone()));
-/// assert!(!q.enqueue(pkt)); // third full frame exceeds 3000 B
+/// let wire = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460).wire_bytes();
+/// for _ in 0..2 {
+///     let id = arena.alloc(Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460));
+///     assert!(q.enqueue(id, wire));
+/// }
+/// let third = arena.alloc(Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460));
+/// assert!(!q.enqueue(third, wire)); // third full frame exceeds 3000 B
 /// assert_eq!(q.drops(), 1);
 /// ```
 #[derive(Debug)]
 pub struct PortQueue {
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<(PacketId, u64)>,
     bytes: u64,
     capacity_bytes: u64,
     drops: u64,
@@ -44,30 +52,31 @@ impl PortQueue {
         }
     }
 
-    /// Attempts to append a packet; returns `false` (and counts a drop)
-    /// when capacity would be exceeded.
-    pub fn enqueue(&mut self, pkt: Packet) -> bool {
-        let wire = pkt.wire_bytes();
-        if self.bytes + wire > self.capacity_bytes {
+    /// Attempts to append a packet occupying `wire_bytes` on the wire;
+    /// returns `false` (and counts a drop) when capacity would be
+    /// exceeded. The caller keeps ownership of the arena slot on
+    /// rejection and must free it.
+    pub fn enqueue(&mut self, id: PacketId, wire_bytes: u64) -> bool {
+        if self.bytes + wire_bytes > self.capacity_bytes {
             self.drops += 1;
             return false;
         }
-        self.bytes += wire;
+        self.bytes += wire_bytes;
         self.max_bytes_seen = self.max_bytes_seen.max(self.bytes);
-        self.fifo.push_back(pkt);
+        self.fifo.push_back((id, wire_bytes));
         true
     }
 
-    /// Removes and returns the head-of-line packet.
-    pub fn dequeue(&mut self) -> Option<Packet> {
-        let pkt = self.fifo.pop_front()?;
-        self.bytes -= pkt.wire_bytes();
-        Some(pkt)
+    /// Removes and returns the head-of-line packet id and its wire size.
+    pub fn dequeue(&mut self) -> Option<(PacketId, u64)> {
+        let (id, wire) = self.fifo.pop_front()?;
+        self.bytes -= wire;
+        Some((id, wire))
     }
 
     /// Wire size of the head-of-line packet, if any.
     pub fn peek_wire_bytes(&self) -> Option<u64> {
-        self.fifo.front().map(Packet::wire_bytes)
+        self.fifo.front().map(|&(_, wire)| wire)
     }
 
     /// Current backlog in wire bytes.
@@ -104,7 +113,8 @@ impl PortQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, NodeId};
+    use crate::arena::PacketArena;
+    use crate::packet::{FlowId, NodeId, Packet};
     use rng::props::{cases, vec_u64};
     use rng::Rng;
 
@@ -112,37 +122,52 @@ mod tests {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, payload)
     }
 
+    fn alloc(arena: &mut PacketArena, payload: u64, seq: u64) -> (PacketId, u64) {
+        let mut p = pkt(payload);
+        p.seq = seq;
+        let wire = p.wire_bytes();
+        (arena.alloc(p), wire)
+    }
+
     #[test]
     fn fifo_order() {
+        let mut arena = PacketArena::new();
         let mut q = PortQueue::new(1 << 20);
         for seq in 0..5 {
-            let mut p = pkt(100);
-            p.seq = seq;
-            q.enqueue(p);
+            let (id, wire) = alloc(&mut arena, 100, seq);
+            q.enqueue(id, wire);
         }
         for seq in 0..5 {
-            assert_eq!(q.dequeue().unwrap().seq, seq);
+            let (id, _) = q.dequeue().unwrap();
+            assert_eq!(arena.get(id).seq, seq);
         }
         assert!(q.dequeue().is_none());
     }
 
     #[test]
     fn byte_accounting() {
+        let mut arena = PacketArena::new();
         let mut q = PortQueue::new(1 << 20);
-        q.enqueue(pkt(1460));
+        let (id, wire) = alloc(&mut arena, 1460, 0);
+        q.enqueue(id, wire);
         assert_eq!(q.bytes(), 1500);
-        q.enqueue(pkt(0)); // min frame 64
+        let (id, wire) = alloc(&mut arena, 0, 0); // min frame 64
+        q.enqueue(id, wire);
         assert_eq!(q.bytes(), 1564);
-        q.dequeue();
+        let (_, wire) = q.dequeue().unwrap();
+        assert_eq!(wire, 1500);
         assert_eq!(q.bytes(), 64);
         assert_eq!(q.max_bytes_seen(), 1564);
     }
 
     #[test]
     fn tail_drop_counts() {
+        let mut arena = PacketArena::new();
         let mut q = PortQueue::new(1500);
-        assert!(q.enqueue(pkt(1460)));
-        assert!(!q.enqueue(pkt(1460)));
+        let (id, wire) = alloc(&mut arena, 1460, 0);
+        assert!(q.enqueue(id, wire));
+        let (id, wire) = alloc(&mut arena, 1460, 1);
+        assert!(!q.enqueue(id, wire));
         assert_eq!(q.drops(), 1);
         assert_eq!(q.len(), 1);
     }
@@ -152,14 +177,21 @@ mod tests {
         cases(128, |_case, rng| {
             let sizes = vec_u64(rng, 1..100, 0..3000);
             let cap = rng.gen_range(64..100_000u64);
+            let mut arena = PacketArena::new();
             let mut q = PortQueue::new(cap);
             for &s in &sizes {
-                q.enqueue(pkt(s));
+                let (id, wire) = alloc(&mut arena, s, 0);
+                if !q.enqueue(id, wire) {
+                    arena.free(id);
+                }
                 assert!(q.bytes() <= cap, "queue {} over cap {cap} after {s}", q.bytes());
             }
-            // Draining returns accounting to zero.
-            while q.dequeue().is_some() {}
+            // Draining returns accounting to zero and frees every slot.
+            while let Some((id, _)) = q.dequeue() {
+                arena.free(id);
+            }
             assert_eq!(q.bytes(), 0, "bytes nonzero after drain, sizes {sizes:?}");
+            assert!(arena.is_empty(), "arena leaked slots, sizes {sizes:?}");
         });
     }
 }

@@ -254,13 +254,23 @@ impl Wheel {
                 }
             }
             let Some((start, level, slot)) = best else {
-                // Wheel empty: advance to the overflow frontier and
-                // migrate everything now within the horizon.
-                let oft = self
+                // Wheel empty: the overflow minimum is the global
+                // minimum, so return it directly instead of routing it
+                // through a bucket it would leave on the very next
+                // iteration. The cursor jumps to its tick and the
+                // remaining overflow entries sharing the new top-level
+                // page migrate into the wheel: an entry at exactly the
+                // wheel horizon lands in a bucket here rather than
+                // ping-ponging through the heap on later pops.
+                // Same-tick page-mates join `current` (the live run, as
+                // `push` would) so a subsequent push at this tick cannot
+                // jump ahead of them.
+                let e = self
                     .overflow
-                    .peek()
-                    .map(|h| h.0.at.nanos() >> GRAN_BITS)
-                    .expect("non-empty scheduler has a candidate");
+                    .pop()
+                    .expect("non-empty scheduler has a candidate")
+                    .0;
+                let oft = e.at.nanos() >> GRAN_BITS;
                 debug_assert!(oft >= self.now_tick);
                 self.now_tick = oft;
                 while let Some(h) = self.overflow.peek() {
@@ -268,10 +278,19 @@ impl Wheel {
                     if (t ^ self.now_tick) >> HORIZON_BITS != 0 {
                         break;
                     }
-                    let e = self.overflow.pop().expect("peeked").0;
-                    self.place_internal(e);
+                    let m = self.overflow.pop().expect("peeked").0;
+                    if t == self.now_tick {
+                        // Heap pops in (at, seq) order, so these arrive
+                        // sorted ascending; current is sorted descending.
+                        let key = m.key();
+                        let pos = self.current.partition_point(|x| x.key() > key);
+                        self.current.insert(pos, m);
+                    } else {
+                        self.place_future(m, t);
+                    }
                 }
-                continue;
+                self.len -= 1;
+                return Some(e);
             };
             debug_assert!(start >= self.now_tick);
             self.now_tick = start;
@@ -339,6 +358,18 @@ impl Backend {
         match self {
             Backend::Wheel(w) => w.peek_key(),
             Backend::Heap(h) => h.peek().map(|e| e.0.key()),
+        }
+    }
+
+    /// O(1) peek at the next entry *if it is immediately available* —
+    /// no bucket cascades, no scans. For the wheel that means the live
+    /// same-tick run (`current`); `None` says the next entry (if any)
+    /// first needs queue maintenance, not that the queue is empty. The
+    /// heap's top is always immediate.
+    fn peek_head(&self) -> Option<&Entry> {
+        match self {
+            Backend::Wheel(w) => w.current.last(),
+            Backend::Heap(h) => h.peek().map(|e| &e.0),
         }
     }
 }
@@ -483,6 +514,45 @@ impl EventQueue {
                 let s = &mut self.slots[h.slot as usize];
                 debug_assert_eq!(s.gen, h.gen);
                 let cancelled = s.state == SlotState::Cancelled;
+                s.state = SlotState::Free;
+                s.gen = s.gen.wrapping_add(1);
+                self.free.push(h.slot);
+                if cancelled {
+                    continue;
+                }
+            }
+            self.live -= 1;
+            return Some((e.at, e.event));
+        }
+    }
+
+    /// Pops the next event only when it is immediately at hand *and*
+    /// `pred` accepts it — the dispatch loop's same-tick batch
+    /// lookahead. Costs one O(1) peek when it declines.
+    ///
+    /// "Immediately at hand" is backend-dependent: the heap's top
+    /// always is, while the wheel only offers the live same-tick run,
+    /// so `None` may simply mean the next event needs bucket
+    /// maintenance first. Callers must treat `None` as "no batch",
+    /// never "queue empty". Since a declined event stays put at its
+    /// `(time, seq)` key, pop order is unaffected either way; batching
+    /// opportunities within one tick are never missed, because a tick's
+    /// run shares one bucket. Lazily-cancelled entries at the head are
+    /// reaped here the same way [`pop`](Self::pop) reaps them.
+    pub fn pop_if(&mut self, pred: impl Fn(Time, &Event) -> bool) -> Option<(Time, Event)> {
+        loop {
+            let head = self.backend.peek_head()?;
+            let cancelled = head.handle.is_some_and(|h| {
+                let s = &self.slots[h.slot as usize];
+                debug_assert_eq!(s.gen, h.gen);
+                s.state == SlotState::Cancelled
+            });
+            if !cancelled && !pred(head.at, &head.event) {
+                return None;
+            }
+            let e = self.backend.pop().expect("peeked entry pops");
+            if let Some(h) = e.handle {
+                let s = &mut self.slots[h.slot as usize];
                 s.state = SlotState::Free;
                 s.gen = s.gen.wrapping_add(1);
                 self.free.push(h.slot);
@@ -703,6 +773,175 @@ mod tests {
                 n += 1;
             }
             assert_eq!(n, edges.len());
+        }
+    }
+
+    /// A sorted-vec reference model: stable sort by time keeps
+    /// insertion order within ties, i.e. the `(time, seq)` contract.
+    struct VecModel {
+        entries: Vec<(u64, u64)>,
+    }
+
+    impl VecModel {
+        fn new() -> Self {
+            Self { entries: Vec::new() }
+        }
+        fn schedule(&mut self, at: u64, token: u64) {
+            self.entries.push((at, token));
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &(t, _))| (t, i))
+                .map(|(i, _)| i)?;
+            Some(self.entries.remove(best))
+        }
+    }
+
+    /// Satellite regression: entries pinned at `horizon - 1`, `horizon`,
+    /// and `horizon + 1` ticks ahead of the cursor — the exact seam
+    /// between the wheel's top level and the overflow heap — must pop in
+    /// model order, for aligned and misaligned cursors alike. Also
+    /// exercises the empty-wheel direct-pop path (everything past the
+    /// boundary starts in overflow) and in-flight pushes at the tick the
+    /// cursor lands on after an overflow jump.
+    #[test]
+    fn overflow_horizon_boundary_matches_model() {
+        // The wheel spans 2^HORIZON_BITS ticks; one tick is 2^GRAN_BITS ns.
+        let horizon_ticks = 1u64 << HORIZON_BITS;
+        let anchors = [0u64, 1, 12_345, horizon_ticks - 2, horizon_ticks + 77];
+        for &anchor in &anchors {
+            let mut q = EventQueue::with_kind(SchedulerKind::Wheel);
+            let mut model = VecModel::new();
+            let mut token = 0u64;
+            // Advance the cursor to the (possibly misaligned) anchor.
+            if anchor > 0 {
+                q.schedule(Time(anchor << GRAN_BITS), Event::AppTimer { token });
+                model.schedule(anchor << GRAN_BITS, token);
+                token += 1;
+            }
+            // Pin a pair of entries at each boundary tick (same time
+            // twice, so insertion-order ties are checked at the seam),
+            // plus sub-tick offsets.
+            for delta in [horizon_ticks - 1, horizon_ticks, horizon_ticks + 1] {
+                let tick = anchor + delta;
+                for off in [0u64, 0, 255] {
+                    let at = (tick << GRAN_BITS) | off;
+                    q.schedule(Time(at), Event::AppTimer { token });
+                    model.schedule(at, token);
+                    token += 1;
+                }
+            }
+            // Drain the anchor, then push mid-drain entries at the tick
+            // the cursor jumped to (merges into the live run).
+            if anchor > 0 {
+                let (t, ev) = q.pop().expect("anchor");
+                assert_eq!((t.nanos(), token_of(&ev)), model.pop().unwrap());
+            }
+            let (t, ev) = q.pop().expect("first boundary entry");
+            assert_eq!((t.nanos(), token_of(&ev)), model.pop().unwrap());
+            let same_tick_at = t.nanos();
+            q.schedule(Time(same_tick_at), Event::AppTimer { token });
+            model.schedule(same_tick_at, token);
+            token += 1;
+            let far = (anchor + 3 * horizon_ticks) << GRAN_BITS;
+            q.schedule(Time(far), Event::AppTimer { token });
+            model.schedule(far, token);
+            while let Some((t, ev)) = q.pop() {
+                let got = (t.nanos(), token_of(&ev));
+                let want = model.pop().unwrap_or_else(|| {
+                    panic!("wheel popped {got:?} beyond the model, anchor {anchor}")
+                });
+                assert_eq!(got, want, "anchor {anchor}");
+            }
+            assert!(model.pop().is_none(), "model has leftovers, anchor {anchor}");
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Randomized version of the boundary test: schedules cluster around
+    /// `cursor + horizon` with interleaved pops.
+    #[test]
+    fn overflow_boundary_random_workloads_match_model() {
+        let horizon_ticks = 1u64 << HORIZON_BITS;
+        cases(64, |_case, rng| {
+            let mut q = EventQueue::with_kind(SchedulerKind::Wheel);
+            let mut model = VecModel::new();
+            let mut now = 0u64;
+            let mut token = 0u64;
+            for _ in 0..200 {
+                if rng.gen_range(0u32..3) < 2 {
+                    let tick_off = horizon_ticks - 3 + rng.gen_range(0..=6u64);
+                    let at = now + (tick_off << GRAN_BITS) + rng.gen_range(0..256u64);
+                    q.schedule(Time(at), Event::AppTimer { token });
+                    model.schedule(at, token);
+                    token += 1;
+                } else {
+                    let got = q.pop().map(|(t, e)| (t.nanos(), token_of(&e)));
+                    assert_eq!(got, model.pop());
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+            loop {
+                let got = q.pop().map(|(t, e)| (t.nanos(), token_of(&e)));
+                assert_eq!(got, model.pop());
+                if got.is_none() {
+                    break;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn pop_if_takes_matching_run_and_stops() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            // Same-time run of tokens 0..3, then a later event.
+            for token in 0..3 {
+                q.schedule(Time(10), Event::AppTimer { token });
+            }
+            q.schedule(Time(50), Event::AppTimer { token: 99 });
+            let (t, first) = q.pop().unwrap();
+            assert_eq!((t, token_of(&first)), (Time(10), 0));
+            // Lookahead drains the rest of the tick, in seq order.
+            let mut run = vec![];
+            while let Some((_, e)) = q.pop_if(|at, _| at == Time(10)) {
+                run.push(token_of(&e));
+            }
+            assert_eq!(run, vec![1, 2], "{kind:?}");
+            // The declined event is untouched and pops normally.
+            assert_eq!(q.len(), 1, "{kind:?}");
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t, token_of(&e)), (Time(50), 99), "{kind:?}");
+            assert!(q.pop_if(|_, _| true).is_none(), "empty queue");
+        }
+    }
+
+    #[test]
+    fn pop_if_declining_preserves_order_and_reaps_cancelled_heads() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(Time(1), Event::AppTimer { token: 9 });
+            let h = q.schedule_cancellable(Time(5), Event::AppTimer { token: 0 });
+            q.schedule(Time(5), Event::AppTimer { token: 1 });
+            q.schedule(Time(7), Event::AppTimer { token: 2 });
+            assert!(q.cancel(h));
+            // Prime the wheel's live run (pop_if never does bucket work).
+            assert_eq!(q.pop().map(|(_, e)| token_of(&e)), Some(9));
+            // The cancelled head is reaped, not offered to the predicate.
+            let got = q.pop_if(|_, e| token_of(e) != 0);
+            assert_eq!(got.map(|(t, e)| (t, token_of(&e))), Some((Time(5), 1)), "{kind:?}");
+            // Declining leaves everything in place for pop.
+            assert!(q.pop_if(|_, _| false).is_none(), "{kind:?}");
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| token_of(&e))
+                .collect();
+            assert_eq!(order, vec![2], "{kind:?}");
+            assert!(q.is_empty(), "{kind:?}");
         }
     }
 

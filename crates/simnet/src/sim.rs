@@ -18,11 +18,12 @@ use rng::{Rng, SeedableRng};
 use telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 
 use crate::app::{Application, FlowEvent};
+use crate::arena::{PacketArena, PacketId};
 use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultAction;
 use crate::node::{Node, PortStats};
-use crate::packet::{FlowId, NodeId, Packet};
+use crate::packet::{FlowId, NodeId};
 use crate::sched::{SchedulerKind, TimerHandle};
 use crate::topology::Network;
 use crate::trace::{QueueSampler, TraceCenter};
@@ -55,6 +56,11 @@ pub struct SimConfig {
     /// reference heap exists for equivalence tests and benchmarks, and
     /// both produce byte-identical runs (see [`crate::sched`]).
     pub scheduler: SchedulerKind,
+    /// Coalesce consecutive same-time switch arrivals on the same port
+    /// into one batched dispatch (on by default). Off-path: per-event
+    /// dispatch, kept for equivalence tests and benchmarks — both modes
+    /// produce byte-identical runs (see [`crate::handlers`]).
+    pub coalesce: bool,
 }
 
 impl Default for SimConfig {
@@ -66,6 +72,7 @@ impl Default for SimConfig {
             packet_log: 0,
             telemetry: TelemetryConfig::default(),
             scheduler: SchedulerKind::default(),
+            coalesce: true,
         }
     }
 }
@@ -161,6 +168,11 @@ pub struct SimCore {
     pub(crate) events_processed: u64,
     pub(crate) packet_log: VecDeque<PacketLogEntry>,
     pub(crate) telemetry: Telemetry,
+    /// Every in-flight packet, slab-allocated; events carry ids into it.
+    pub(crate) packets: PacketArena,
+    /// Reusable scratch for coalesced arrival batches (see
+    /// [`crate::handlers`]); empty between dispatches.
+    pub(crate) arrival_batch: Vec<PacketId>,
 }
 
 /// The simulator: a [`SimCore`] plus the workload application.
@@ -446,13 +458,16 @@ impl SimCore {
         &self.packet_log
     }
 
-    pub(crate) fn log_packet(&mut self, node: NodeId, kind: PacketEventKind, pkt: &Packet) {
+    /// Appends to the packet-event log from a borrow of the arena slot —
+    /// the log copies three scalar fields, never the packet.
+    pub(crate) fn log_packet(&mut self, node: NodeId, kind: PacketEventKind, id: PacketId) {
         if self.cfg.packet_log == 0 {
             return;
         }
         if self.packet_log.len() == self.cfg.packet_log {
             self.packet_log.pop_front();
         }
+        let pkt = self.packets.get(id);
         self.packet_log.push_back(PacketLogEntry {
             at: self.now,
             node,
@@ -461,6 +476,11 @@ impl SimCore {
             seq: pkt.seq,
             payload: pkt.payload,
         });
+    }
+
+    /// The in-flight packet arena (diagnostics: live slots, high-water).
+    pub fn packet_arena(&self) -> &PacketArena {
+        &self.packets
     }
 
     /// Current congestion window of a flow's sender, if it exists.
@@ -484,6 +504,9 @@ impl SimCore {
                 Some((lo, _)) => lo,
                 None => Dur::ZERO,
             };
+            // The endpoint-built packet moves into the arena here; from
+            // this point on it travels the fabric as an id.
+            let pkt = self.packets.alloc(pkt);
             self.events
                 .schedule(self.now + jitter, Event::NicEnqueue { node: host, pkt });
         }
@@ -651,6 +674,8 @@ impl<A: Application> Simulator<A> {
                 events_processed: 0,
                 packet_log: VecDeque::new(),
                 telemetry,
+                packets: PacketArena::new(),
+                arrival_batch: Vec::new(),
             },
             app,
         }
@@ -792,7 +817,7 @@ mod tests {
     use super::*;
     use crate::app::NullApp;
     use crate::endpoint::{ReceiverEndpoint, SenderEndpoint};
-    use crate::packet::{Flags, MSS};
+    use crate::packet::{Flags, Packet, MSS};
     use crate::topology::TopologyBuilder;
     use crate::units::Bandwidth;
 
@@ -1010,6 +1035,7 @@ mod tests {
         let hosts = sim.core().host_ids().to_vec();
         let mut pkt = Packet::data(FlowId(999), hosts[0], hosts[1], 0, 100);
         pkt.flags.set(Flags::ACK);
+        let pkt = sim.core_mut().packets.alloc(pkt);
         sim.core_mut().events.schedule(
             Time(1),
             Event::Arrival {
@@ -1019,6 +1045,8 @@ mod tests {
             },
         );
         sim.run();
+        // The stale packet's slot was still recycled.
+        assert!(sim.core().packet_arena().is_empty());
     }
 }
 
@@ -1090,5 +1118,25 @@ mod packet_log_tests {
         }
         sim.run();
         assert!(sim.core().packet_log().len() <= 4);
+    }
+
+    /// Regression for the per-delivery `pkt.clone()` the packet log
+    /// used to take: a run with logging enabled — arrivals, drops, and
+    /// deliveries all exercised — must clone zero packets. Also checks
+    /// the arena leaks no slots: every allocation reached a free site.
+    #[test]
+    fn logged_run_clones_no_packets_and_leaks_no_slots() {
+        let (mut sim, flow) = lossy_sim(1024);
+        for _ in 0..8 {
+            sim.core_mut().push_data(flow, MSS);
+        }
+        let clones_before = crate::packet::thread_packet_clones();
+        sim.run();
+        let cloned = crate::packet::thread_packet_clones() - clones_before;
+        assert_eq!(cloned, 0, "hot path must not clone packets");
+        assert!(sim.core().packet_log().iter().any(|e| e.kind == PacketEventKind::Drop));
+        let arena = sim.core().packet_arena();
+        assert!(arena.allocated_total() > 0);
+        assert!(arena.is_empty(), "{} packet slots leaked", arena.live());
     }
 }

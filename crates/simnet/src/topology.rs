@@ -26,6 +26,38 @@ enum NodeKind {
     Switch,
 }
 
+/// Errors from fallible topology construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Adding another node would overflow the `u32` node-id space; the
+    /// id would silently wrap and alias node 0.
+    NodeIdSpaceExhausted {
+        /// Number of nodes already in the builder.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NodeIdSpaceExhausted { nodes } => {
+                write!(f, "node-id space exhausted: {nodes} nodes, NodeId is u32")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The id the next node would get, or an error if `count` nodes already
+/// exhaust the `u32` id space. Factored out of the builder so the
+/// boundary is testable without allocating four billion nodes.
+fn checked_id(count: usize) -> Result<NodeId, TopologyError> {
+    u32::try_from(count)
+        .map(NodeId)
+        .map_err(|_| TopologyError::NodeIdSpaceExhausted { nodes: count })
+}
+
 #[derive(Debug, Clone, Copy)]
 struct LinkSpec {
     a: NodeId,
@@ -76,10 +108,22 @@ impl TopologyBuilder {
     }
 
     /// Adds a host and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `u32` node-id space is exhausted; use
+    /// [`try_host`](Self::try_host) to handle that as an error.
     pub fn host(&mut self) -> NodeId {
-        let id = NodeId(self.kinds.len() as u32);
+        self.try_host().expect("node-id space exhausted")
+    }
+
+    /// Adds a host and returns its id, or an error when another node
+    /// would not fit in the `u32` id space (previously the id wrapped
+    /// silently).
+    pub fn try_host(&mut self) -> Result<NodeId, TopologyError> {
+        let id = checked_id(self.kinds.len())?;
         self.kinds.push(NodeKind::Host);
-        id
+        Ok(id)
     }
 
     /// Adds `n` hosts and returns their ids.
@@ -88,10 +132,21 @@ impl TopologyBuilder {
     }
 
     /// Adds a switch and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `u32` node-id space is exhausted; use
+    /// [`try_switch`](Self::try_switch) to handle that as an error.
     pub fn switch(&mut self) -> NodeId {
-        let id = NodeId(self.kinds.len() as u32);
+        self.try_switch().expect("node-id space exhausted")
+    }
+
+    /// Adds a switch and returns its id, or an error when another node
+    /// would not fit in the `u32` id space.
+    pub fn try_switch(&mut self) -> Result<NodeId, TopologyError> {
+        let id = checked_id(self.kinds.len())?;
         self.kinds.push(NodeKind::Switch);
-        id
+        Ok(id)
     }
 
     /// Connects `a` and `b` with a full-duplex link.
@@ -451,6 +506,32 @@ mod tests {
         let _h = t.host();
         let _s = t.switch();
         t.build_drop_tail();
+    }
+
+    #[test]
+    fn node_id_allocation_guards_u32_boundary() {
+        // In range: the id equals the running count.
+        assert_eq!(checked_id(0), Ok(NodeId(0)));
+        assert_eq!(checked_id(7), Ok(NodeId(7)));
+        assert_eq!(checked_id(u32::MAX as usize), Ok(NodeId(u32::MAX)));
+        // One past the last representable id: refused, not wrapped.
+        assert_eq!(
+            checked_id(u32::MAX as usize + 1),
+            Err(TopologyError::NodeIdSpaceExhausted {
+                nodes: u32::MAX as usize + 1
+            })
+        );
+        let err = checked_id(u32::MAX as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("node-id space exhausted"));
+    }
+
+    #[test]
+    fn try_variants_match_infallible_ids() {
+        let mut t = TopologyBuilder::new();
+        assert_eq!(t.try_host().unwrap(), NodeId(0));
+        assert_eq!(t.switch(), NodeId(1));
+        assert_eq!(t.try_switch().unwrap(), NodeId(2));
+        assert_eq!(t.host(), NodeId(3));
     }
 }
 

@@ -9,6 +9,7 @@
 pub struct LoopStats {
     names: &'static [&'static str],
     counts: Vec<u64>,
+    batches: Vec<u64>,
     nanos: Vec<u64>,
     profile: bool,
 }
@@ -21,6 +22,7 @@ impl LoopStats {
         Self {
             names,
             counts: vec![0; names.len()],
+            batches: vec![0; names.len()],
             nanos: vec![0; names.len()],
             profile,
         }
@@ -32,10 +34,20 @@ impl LoopStats {
         self.profile
     }
 
-    /// Counts one handled event of type `idx`.
+    /// Counts one handled event of type `idx` (a batch of one).
     #[inline]
     pub fn count(&mut self, idx: usize) {
-        self.counts[idx] += 1;
+        self.count_batch(idx, 1);
+    }
+
+    /// Counts one dispatched batch of `n` events of type `idx`. When
+    /// profiling, [`add_nanos`](Self::add_nanos) is expected once per
+    /// batch, so `nanos / batches` is time per handler invocation and
+    /// `counts / batches` the mean coalescing factor.
+    #[inline]
+    pub fn count_batch(&mut self, idx: usize, n: u64) {
+        self.counts[idx] += n;
+        self.batches[idx] += 1;
     }
 
     /// Adds handler wall-clock time for type `idx`.
@@ -44,18 +56,25 @@ impl LoopStats {
         self.nanos[idx] += ns;
     }
 
-    /// `(name, count, cumulative_ns)` per event type, in index order.
-    pub fn rows(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+    /// `(name, count, batches, cumulative_ns)` per event type, in index
+    /// order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, u64, u64, u64)> + '_ {
         self.names
             .iter()
             .zip(&self.counts)
+            .zip(&self.batches)
             .zip(&self.nanos)
-            .map(|((n, c), t)| (*n, *c, *t))
+            .map(|(((n, c), b), t)| (*n, *c, *b, *t))
     }
 
     /// Total events counted across all types.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Total dispatched batches across all types.
+    pub fn total_batches(&self) -> u64 {
+        self.batches.iter().sum()
     }
 
     /// Total handler wall-clock time across all types (0 unless
@@ -113,7 +132,7 @@ mod tests {
         s.add_nanos(2, 40);
         s.add_nanos(2, 2);
         let rows: Vec<_> = s.rows().collect();
-        assert_eq!(rows, vec![("a", 1, 0), ("b", 0, 0), ("c", 2, 42)]);
+        assert_eq!(rows, vec![("a", 1, 1, 0), ("b", 0, 0, 0), ("c", 2, 2, 42)]);
         assert_eq!(s.total(), 3);
     }
 
@@ -123,5 +142,18 @@ mod tests {
         assert!(!s.profiled());
         s.count(1);
         assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn batches_track_coalesced_dispatch() {
+        let mut s = LoopStats::new(&NAMES, true);
+        s.count_batch(0, 5);
+        s.count_batch(0, 3);
+        s.count(0);
+        s.add_nanos(0, 90);
+        let rows: Vec<_> = s.rows().collect();
+        assert_eq!(rows[0], ("a", 9, 3, 90));
+        assert_eq!(s.total(), 9);
+        assert_eq!(s.total_batches(), 3);
     }
 }

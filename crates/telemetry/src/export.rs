@@ -99,10 +99,24 @@ fn counters_json(log: &EventLog, loop_stats: &LoopStats) -> Value {
     for (name, count) in EVENT_KIND_NAMES.iter().zip(log.counts()) {
         events.insert((*name).to_string(), Value::from(*count));
     }
+    // Batch counts (like nanos) describe the dispatch schedule, not the
+    // simulation: they differ between coalesced and uncoalesced runs of
+    // the same sim. Export them only under the wall-clock profile so
+    // unprofiled artifacts stay byte-identical across dispatch modes.
+    let profiled = loop_stats.profiled();
     let loop_rows: Vec<Value> = loop_stats
         .rows()
-        .map(|(name, count, nanos)| {
-            crate::json!({"event": name, "count": count, "nanos": nanos})
+        .map(|(name, count, batches, nanos)| {
+            if profiled {
+                crate::json!({
+                    "event": name,
+                    "count": count,
+                    "batches": batches,
+                    "nanos": nanos,
+                })
+            } else {
+                crate::json!({"event": name, "count": count, "nanos": nanos})
+            }
         })
         .collect();
     crate::json!({

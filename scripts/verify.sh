@@ -17,6 +17,12 @@ cargo test -q --workspace
 # reconcile exactly with the simulator's ground truth.
 cargo test -q -p tfc-repro --test telemetry
 
+# Three-way scheduler equivalence: reference heap, timing wheel, and
+# wheel with batched dispatch must export byte-identical artifacts.
+# (Also part of the workspace suite above; run explicitly so a failure
+# names the gate.)
+cargo test -q -p tfc-repro --test sched_equivalence
+
 # tfc-trace must summarize a smoke-run artifact bundle from the files
 # alone (exported into a scratch dir so committed results/ stay put).
 TRACE_DIR="$(mktemp -d)"
@@ -33,13 +39,16 @@ TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-flap" | grep "tokens reclaimed" >/dev/null
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-stall" | grep "fault windows:" >/dev/null
 
-# Scale-bench smoke: the quick suite must run both scheduler backends to
-# identical outcomes and write a well-formed BENCH_scale.json (schema
-# key, non-zero events/sec — the binary itself asserts positivity).
+# Scale-bench smoke: the quick suite must run all three scheduling
+# variants (heap, wheel, wheel+batching) to identical outcomes and
+# write a well-formed BENCH_scale.json (schema key, non-zero events/sec
+# — the binary itself asserts positivity and outcome identity).
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
 test -s "$TRACE_DIR/bench/BENCH_scale.json"
-grep '"schema": "tfc-bench-scale/v1"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v2"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"wheel_nobatch_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 
 echo "verify: OK"

@@ -1,14 +1,16 @@
-//! Scheduler-equivalence regression: the timing-wheel backend must
-//! reproduce the reference binary-heap backend *byte for byte*.
+//! Scheduler-equivalence regression: the timing-wheel backend — with
+//! and without same-tick batch dispatch — must reproduce the reference
+//! binary-heap backend *byte for byte*.
 //!
 //! Two deterministic scenarios — a figure-style incast and a chaos
-//! fault timeline on a leaf-spine — run once under each
-//! [`SchedulerKind`], exporting the full artifact bundle (manifest,
-//! counters, events, flows, TFC slot gauges). Every exported file must
-//! be byte-identical across backends: the wheel is a pure data-structure
-//! substitution, not a behaviour change.
+//! fault timeline on a leaf-spine — run once per variant, exporting the
+//! full artifact bundle (manifest, counters, events, flows, TFC slot
+//! gauges). Every exported file must be byte-identical across all three
+//! variants: the wheel is a pure data-structure substitution, and batch
+//! coalescing only changes how the dispatch loop walks the already-
+//! determined `(time, seq)` order, never the order itself.
 //!
-//! Kept as a single `#[test]` because both halves set
+//! Kept as a single `#[test]` because all halves set
 //! `TFC_RESULTS_DIR`; Rust runs tests in threads and the environment is
 //! process-global.
 
@@ -26,6 +28,32 @@ use telemetry::{LogMode, TelemetryConfig};
 use tfc::config::TfcSwitchConfig;
 use tfc::{TfcStack, TfcSwitchPolicy};
 
+/// One scheduling configuration under test.
+#[derive(Clone, Copy, Debug)]
+struct Variant {
+    name: &'static str,
+    kind: SchedulerKind,
+    coalesce: bool,
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant {
+        name: "heap",
+        kind: SchedulerKind::RefHeap,
+        coalesce: false,
+    },
+    Variant {
+        name: "wheel",
+        kind: SchedulerKind::Wheel,
+        coalesce: false,
+    },
+    Variant {
+        name: "wheel_batched",
+        kind: SchedulerKind::Wheel,
+        coalesce: true,
+    },
+];
+
 /// Full-fidelity telemetry, minus the wall-clock profile (which writes
 /// non-deterministic nanosecond timings into `counters.json`).
 fn telemetry(run: &str) -> TelemetryConfig {
@@ -39,7 +67,7 @@ fn telemetry(run: &str) -> TelemetryConfig {
 }
 
 /// Figure-style incast: 12 senders into one receiver through a star.
-fn run_incast(kind: SchedulerKind) {
+fn run_incast(v: Variant) {
     let (t, hosts, _hub) = star(13, Bandwidth::gbps(1), Dur::micros(5));
     let receiver = hosts[0];
     let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
@@ -51,7 +79,8 @@ fn run_incast(kind: SchedulerKind) {
             seed: 7,
             end: Some(Time(Dur::millis(30).as_nanos())),
             telemetry: telemetry("equiv_incast"),
-            scheduler: kind,
+            scheduler: v.kind,
+            coalesce: v.coalesce,
             ..Default::default()
         },
     );
@@ -65,7 +94,7 @@ fn run_incast(kind: SchedulerKind) {
 
 /// Chaos timeline on a small leaf-spine: link flap, host stall, loss
 /// burst, and a policy reset, all scripted at fixed times.
-fn run_chaos(kind: SchedulerKind) {
+fn run_chaos(v: Variant) {
     let (t, hosts, switches) = leaf_spine(
         4,
         6,
@@ -82,7 +111,8 @@ fn run_chaos(kind: SchedulerKind) {
             seed: 11,
             end: Some(Time(Dur::millis(40).as_nanos())),
             telemetry: telemetry("equiv_chaos"),
-            scheduler: kind,
+            scheduler: v.kind,
+            coalesce: v.coalesce,
             ..Default::default()
         },
     );
@@ -117,29 +147,32 @@ const ARTIFACTS: [&str; 5] = [
 ];
 
 #[test]
-fn wheel_reproduces_heap_artifacts_byte_for_byte() {
+fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
     let base = std::env::temp_dir().join("tfc_sched_equiv_test");
     std::fs::remove_dir_all(&base).ok();
-    let dir_of = |kind: SchedulerKind| -> PathBuf {
-        let dir = base.join(format!("{kind:?}"));
+    let dir_of = |v: Variant| -> PathBuf {
+        let dir = base.join(v.name);
         std::env::set_var("TFC_RESULTS_DIR", &dir);
-        run_incast(kind);
-        run_chaos(kind);
+        run_incast(v);
+        run_chaos(v);
         dir
     };
-    let heap_dir = dir_of(SchedulerKind::RefHeap);
-    let wheel_dir = dir_of(SchedulerKind::Wheel);
+    let dirs: Vec<PathBuf> = VARIANTS.iter().map(|&v| dir_of(v)).collect();
     std::env::remove_var("TFC_RESULTS_DIR");
 
+    let reference = &dirs[0];
     for run in ["equiv_incast", "equiv_chaos"] {
         for file in ARTIFACTS {
-            let heap = read(&heap_dir, run, file);
-            let wheel = read(&wheel_dir, run, file);
-            assert!(!heap.is_empty(), "{run}/{file} is empty");
-            assert_eq!(
-                heap, wheel,
-                "{run}/{file} differs between RefHeap and Wheel"
-            );
+            let want = read(reference, run, file);
+            assert!(!want.is_empty(), "{run}/{file} is empty");
+            for (v, dir) in VARIANTS.iter().zip(&dirs).skip(1) {
+                let got = read(dir, run, file);
+                assert_eq!(
+                    want, got,
+                    "{run}/{file} differs between {} and {}",
+                    VARIANTS[0].name, v.name
+                );
+            }
         }
     }
     std::fs::remove_dir_all(&base).ok();
