@@ -107,6 +107,7 @@ fn figure_manifest(id: &str, paper: bool, seed: u64) {
         topology: topology.to_string(),
         config: format!("figures {id}{}", if paper { " --paper" } else { "" }),
         git: telemetry::export::git_describe(),
+        sim: None,
     };
     if let Err(e) = telemetry::export::write_manifest(&m) {
         eprintln!("figures: manifest for {id} not written: {e}");

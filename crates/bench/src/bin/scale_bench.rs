@@ -9,6 +9,12 @@
 //! count, same delivered bytes) and records wall-clock events/sec,
 //! writing `results/bench/BENCH_scale.json`.
 //!
+//! Each scenario also re-runs the default variant with flow-sampled
+//! lifecycle tracing on (16/1000 flows), asserting the traced
+//! simulation is outcome-identical to the untraced one and recording
+//! the wall-clock ratio as `trace_overhead` (1.0 = free; the CI smoke
+//! bounds the leaf-spine value at 1.10).
+//!
 //! `--quick` shortens every horizon for CI smoke use (`scripts/verify.sh`).
 
 use std::time::Instant;
@@ -24,15 +30,16 @@ use simnet::units::{Bandwidth, Dur, Time};
 use simnet::SchedulerKind;
 use telemetry::export::{git_describe, results_dir};
 use telemetry::json::{self, Value};
+use telemetry::{TelemetryConfig, TraceConfig};
 
-/// One scenario, parameterized by the scheduler backend and whether
-/// same-tick batch dispatch is on.
+/// One scenario, parameterized by the scheduler backend, whether
+/// same-tick batch dispatch is on, and the lifecycle-trace mode.
 struct Scenario {
     name: &'static str,
     hosts: usize,
     flows: usize,
     sim_ms: u64,
-    run: Box<dyn Fn(SchedulerKind, bool) -> (u64, u64)>,
+    run: Box<dyn Fn(SchedulerKind, bool, TraceConfig) -> (u64, u64)>,
 }
 
 /// Variant-agnostic run outcome used for the cross-variant identity
@@ -44,11 +51,15 @@ fn outcome<A: simnet::app::Application>(sim: &Simulator<A>) -> (u64, u64) {
     )
 }
 
-fn cfg(kind: SchedulerKind, coalesce: bool, end_ms: u64) -> SimConfig {
+fn cfg(kind: SchedulerKind, coalesce: bool, end_ms: u64, trace: TraceConfig) -> SimConfig {
     SimConfig {
         end: Some(Time(Dur::millis(end_ms).as_nanos())),
         scheduler: kind,
         coalesce,
+        telemetry: TelemetryConfig {
+            trace,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -61,7 +72,7 @@ fn leaf_spine_360(sim_ms: u64, flows: usize) -> Scenario {
         hosts: 360,
         flows,
         sim_ms,
-        run: Box::new(move |kind, coalesce| {
+        run: Box::new(move |kind, coalesce, trace| {
             let (t, hosts, _) = leaf_spine(
                 18,
                 20,
@@ -74,7 +85,7 @@ fn leaf_spine_360(sim_ms: u64, flows: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, coalesce, sim_ms),
+                cfg(kind, coalesce, sim_ms, trace),
             );
             let mut rng = rng::rngs::StdRng::seed_from_u64(2024);
             for _ in 0..flows {
@@ -99,7 +110,7 @@ fn incast_fanin(sim_ms: u64, senders: usize) -> Scenario {
         hosts: senders + 1,
         flows: senders,
         sim_ms,
-        run: Box::new(move |kind, coalesce| {
+        run: Box::new(move |kind, coalesce, trace| {
             let (t, hosts, _) = star(senders + 1, Bandwidth::gbps(10), Dur::micros(10));
             let receiver = hosts[0];
             let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
@@ -107,7 +118,7 @@ fn incast_fanin(sim_ms: u64, senders: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, coalesce, sim_ms),
+                cfg(kind, coalesce, sim_ms, trace),
             );
             for (i, &src) in hosts[1..].iter().enumerate() {
                 sim.core_mut().start_flow(FlowSpec::sized(
@@ -130,7 +141,7 @@ fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
         hosts: 48,
         flows,
         sim_ms,
-        run: Box::new(move |kind, coalesce| {
+        run: Box::new(move |kind, coalesce, trace| {
             let (t, hosts, switches) = leaf_spine(
                 6,
                 8,
@@ -143,7 +154,7 @@ fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
                 net,
                 Box::new(tfc::TfcStack::default()),
                 NullApp,
-                cfg(kind, coalesce, sim_ms),
+                cfg(kind, coalesce, sim_ms, trace),
             );
             for i in 0..flows {
                 let src = hosts[i % hosts.len()];
@@ -180,17 +191,46 @@ struct Row {
     speedup: f64,
     /// Wheel+batching vs wheel without batching (batching alone).
     batch_speedup: f64,
+    traced_wall_ms: f64,
+    traced_events_per_sec: f64,
+    /// Wheel+batching with sampled lifecycle tracing vs without.
+    trace_overhead: f64,
 }
 
 fn bench(s: &Scenario) -> Row {
-    let timed = |kind, coalesce| {
+    let timed = |kind, coalesce, trace| {
         let t0 = Instant::now();
-        let out = (s.run)(kind, coalesce);
+        let out = (s.run)(kind, coalesce, trace);
         (out, t0.elapsed().as_secs_f64())
     };
-    let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap, false);
-    let (nobatch_out, nobatch_secs) = timed(SchedulerKind::Wheel, false);
-    let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel, true);
+    let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap, false, TraceConfig::Off);
+    let (nobatch_out, nobatch_secs) = timed(SchedulerKind::Wheel, false, TraceConfig::Off);
+    let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel, true, TraceConfig::Off);
+    // The overhead ratio is measured in adjacent traced/untraced pairs
+    // and reported as the minimum per-pair ratio: single wall-clock
+    // samples on shared machines swing by double digits, but two runs
+    // launched back to back see (mostly) the same ambient load, so
+    // their ratio cancels slowdowns that would otherwise masquerade as
+    // tracing cost. The minimum across pairs then discards pairs a load
+    // spike split down the middle.
+    let sampled = TraceConfig::SampledFlows {
+        permille: 16,
+        seed: 9,
+    };
+    let mut traced_best = f64::INFINITY;
+    let mut overhead = f64::INFINITY;
+    for _ in 0..3 {
+        let (traced_out, traced_secs) = timed(SchedulerKind::Wheel, true, sampled);
+        assert_eq!(
+            wheel_out, traced_out,
+            "{}: sampled tracing changed the simulation (events, delivered)",
+            s.name
+        );
+        traced_best = traced_best.min(traced_secs);
+        let (out, untraced_secs) = timed(SchedulerKind::Wheel, true, TraceConfig::Off);
+        assert_eq!(wheel_out, out, "{}: rerun diverged", s.name);
+        overhead = overhead.min(traced_secs / untraced_secs);
+    }
     assert_eq!(
         heap_out, nobatch_out,
         "{}: wheel diverged from heap (events, delivered)",
@@ -216,6 +256,9 @@ fn bench(s: &Scenario) -> Row {
         wheel_events_per_sec: events as f64 / wheel_secs,
         speedup: heap_secs / wheel_secs,
         batch_speedup: nobatch_secs / wheel_secs,
+        traced_wall_ms: traced_best * 1e3,
+        traced_events_per_sec: events as f64 / traced_best,
+        trace_overhead: overhead,
     }
 }
 
@@ -234,6 +277,9 @@ fn row_json(r: &Row) -> Value {
         "wheel_events_per_sec": r.wheel_events_per_sec,
         "speedup": r.speedup,
         "batch_speedup": r.batch_speedup,
+        "traced_wall_ms": r.traced_wall_ms,
+        "traced_events_per_sec": r.traced_events_per_sec,
+        "trace_overhead": r.trace_overhead,
     })
 }
 
@@ -258,28 +304,29 @@ fn main() {
         eprintln!("running {} ({} hosts, {} flows, {} ms)...", s.name, s.hosts, s.flows, s.sim_ms);
         let row = bench(s);
         eprintln!(
-            "  {} events; heap {:.0} ev/s, wheel {:.0} ev/s, wheel+batch {:.0} ev/s, speedup {:.2}x (batching {:.2}x)",
+            "  {} events; heap {:.0} ev/s, wheel {:.0} ev/s, wheel+batch {:.0} ev/s, speedup {:.2}x (batching {:.2}x), trace overhead {:.3}x",
             row.events,
             row.heap_events_per_sec,
             row.wheel_nobatch_events_per_sec,
             row.wheel_events_per_sec,
             row.speedup,
             row.batch_speedup,
+            row.trace_overhead,
         );
         rows.push(row);
     }
 
-    let leaf_speedup = rows
+    let leaf = rows
         .iter()
         .find(|r| r.name == "leaf_spine_360")
-        .map(|r| r.speedup)
         .expect("leaf-spine scenario present");
     let doc = telemetry::json!({
-        "schema": "tfc-bench-scale/v2",
+        "schema": "tfc-bench-scale/v3",
         "mode": if quick { "quick" } else { "full" },
         "git": git_describe().as_str(),
         "scenarios": Value::Array(rows.iter().map(row_json).collect()),
-        "leaf_spine_speedup": leaf_speedup,
+        "leaf_spine_speedup": leaf.speedup,
+        "trace_overhead": leaf.trace_overhead,
     });
 
     let dir = results_dir().join("bench");
@@ -293,7 +340,7 @@ fn main() {
         .expect("BENCH_scale.json parses");
     assert_eq!(
         parsed.get("schema").and_then(Value::as_str),
-        Some("tfc-bench-scale/v2")
+        Some("tfc-bench-scale/v3")
     );
     let scen = parsed
         .get("scenarios")
@@ -305,6 +352,8 @@ fn main() {
             "heap_events_per_sec",
             "wheel_nobatch_events_per_sec",
             "wheel_events_per_sec",
+            "traced_events_per_sec",
+            "trace_overhead",
         ] {
             let v = s.get(key).and_then(Value::as_f64).expect("rate present");
             assert!(v > 0.0, "{key} must be positive");

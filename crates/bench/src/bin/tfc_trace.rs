@@ -2,18 +2,28 @@
 //!
 //! ```text
 //! tfc-trace <results/run-dir>    summarize an exported run
+//! tfc-trace diff <runA> <runB>   compare two runs' artifacts and
+//!                                report the first divergence
 //! tfc-trace --smoke              run a small full-telemetry incast,
 //!                                export it, then summarize the artifact
 //! tfc-trace --chaos-smoke        run the chaos smoke pair (link flap +
 //!                                host stall, fixed seed) and summarize
 //!                                both artifact bundles
+//! tfc-trace --diff-smoke         differ self-test: two same-seed runs
+//!                                must match, a perturbed seed must not
 //! tfc-trace --help               this text
 //! ```
 //!
 //! The summary is built from the artifact files alone (manifest.json,
-//! counters.json, events.json, flows.json, tfc_slots.csv) — nothing is
-//! recomputed from a live simulation, so the tool works on bundles from
-//! any machine or commit.
+//! counters.json, events.json, flows.json, tfc_slots.csv, spans.json) —
+//! nothing is recomputed from a live simulation, so the tool works on
+//! bundles from any machine or commit.
+//!
+//! `diff` walks the artifacts in causal order — manifest, counters,
+//! event log, flow summaries, slot gauges, span sketches, legacy trace
+//! series — and stops at the first file that disagrees, pinpointing the
+//! diverging key, record, line, or sketch. Exit status follows
+//! `diff(1)`: 0 when identical, 1 on divergence, 2 on error.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -28,13 +38,43 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: tfc-trace <results/run-dir> | --smoke | --chaos-smoke");
+            eprintln!(
+                "usage: tfc-trace <results/run-dir> | diff <runA> <runB> \
+                 | --smoke | --chaos-smoke | --diff-smoke"
+            );
             if args.is_empty() {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
             }
         }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: tfc-trace diff <runA> <runB>");
+                return ExitCode::from(2);
+            };
+            match diff_runs(Path::new(a), Path::new(b)) {
+                Ok(None) => {
+                    println!("no divergence");
+                    ExitCode::SUCCESS
+                }
+                Ok(Some(d)) => {
+                    println!("first divergence: {d}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("tfc-trace: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("--diff-smoke") => match try_diff_smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("tfc-trace: diff smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("--smoke") => match smoke_run() {
             Ok(dir) => summarize(&dir),
             Err(e) => {
@@ -269,8 +309,380 @@ fn try_summarize(dir: &Path) -> Result<(), String> {
         }
     }
 
+    waterfall(dir)?;
     fault_summary(recs, &slots, &s, &n);
     Ok(())
+}
+
+/// The latency waterfall: per-stage, per-hop lifecycle sketches from
+/// `spans.json` — how long packets spent in host queues, switch queues,
+/// on the wire, and waiting for tokens, at each hop. Prints nothing for
+/// untraced runs (the file is only written when tracing is on).
+fn waterfall(dir: &Path) -> Result<(), String> {
+    if !dir.join("spans.json").exists() {
+        return Ok(());
+    }
+    let spans = load_json(dir, "spans.json")?;
+    let trace = spans.get("trace").and_then(Value::as_str).unwrap_or("?");
+    let tracked = spans
+        .get("tracked_packets")
+        .and_then(Value::as_i64)
+        .unwrap_or(0);
+    let dropped = spans
+        .get("dropped_packets")
+        .and_then(Value::as_i64)
+        .unwrap_or(0);
+    let rows = spans
+        .get("stages")
+        .and_then(Value::as_array)
+        .ok_or("spans.json: missing `stages`")?;
+    println!("\nlatency waterfall ({trace} trace, {tracked} packets tracked, {dropped} dropped):");
+    println!(
+        "  {:<10} {:>3} {:>9} {:>11} {:>11} {:>11} {:>11}",
+        "stage", "hop", "count", "p50 µs", "p99 µs", "p999 µs", "max µs"
+    );
+    for row in rows {
+        let stage = row.get("stage").and_then(Value::as_str).unwrap_or("?");
+        let hop = row.get("hop").and_then(Value::as_i64).unwrap_or(0);
+        let count = row.get("count").and_then(Value::as_i64).unwrap_or(0);
+        let us = |k: &str| {
+            row.get(k)
+                .and_then(Value::as_f64)
+                .map(|v| format!("{:.1}", v / 1e3))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "  {stage:<10} {hop:>3} {count:>9} {:>11} {:>11} {:>11} {:>11}",
+            us("p50"),
+            us("p99"),
+            us("p999"),
+            us("max_ns"),
+        );
+    }
+    Ok(())
+}
+
+/// Artifact comparison order for `diff`: identity first, then the logs
+/// in causal order, derived telemetry last.
+const DIFF_FILES: [&str; 7] = [
+    "manifest.json",
+    "counters.json",
+    "events.json",
+    "flows.json",
+    "tfc_slots.csv",
+    "spans.json",
+    "traces.csv",
+];
+
+/// Compares two run directories artifact by artifact; returns the first
+/// divergence as a human-readable report, `None` if the runs match.
+fn diff_runs(a: &Path, b: &Path) -> Result<Option<String>, String> {
+    for dir in [a, b] {
+        if !dir.join("manifest.json").exists() {
+            return Err(format!(
+                "{}: not a run directory (no manifest.json)",
+                dir.display()
+            ));
+        }
+    }
+    for file in DIFF_FILES {
+        let (pa, pb) = (a.join(file), b.join(file));
+        match (pa.exists(), pb.exists()) {
+            (false, false) => continue,
+            (true, false) => return Ok(Some(format!("{file}: only in {}", a.display()))),
+            (false, true) => return Ok(Some(format!("{file}: only in {}", b.display()))),
+            (true, true) => {}
+        }
+        let ta = fs::read_to_string(&pa).map_err(|e| format!("{}: {e}", pa.display()))?;
+        let tb = fs::read_to_string(&pb).map_err(|e| format!("{}: {e}", pb.display()))?;
+        if let Some(d) = diff_file(file, &ta, &tb)? {
+            return Ok(Some(format!("{file}: {d}")));
+        }
+    }
+    Ok(None)
+}
+
+/// Compares one artifact's text from both runs. JSON artifacts are
+/// compared structurally so the report can name the diverging key or
+/// record; CSVs fall back to line comparison.
+fn diff_file(file: &str, ta: &str, tb: &str) -> Result<Option<String>, String> {
+    if !file.ends_with(".json") {
+        return Ok(line_diff(ta, tb));
+    }
+    let va = json::parse(ta).map_err(|e| format!("first run: {e}"))?;
+    let vb = json::parse(tb).map_err(|e| format!("second run: {e}"))?;
+    Ok(match file {
+        // Run name and git describe legitimately differ between
+        // otherwise-equivalent runs; everything else must match.
+        "manifest.json" => {
+            let strip = |v: &Value| {
+                let mut v = v.clone();
+                if let Value::Object(m) = &mut v {
+                    m.remove("run");
+                    m.remove("git");
+                }
+                v
+            };
+            first_key_diff(&strip(&va), &strip(&vb))
+        }
+        "events.json" => first_record_diff("record", &va, &vb)?,
+        "flows.json" => first_record_diff("flow", &va, &vb)?,
+        "spans.json" => spans_diff(&va, &vb)?,
+        _ => first_key_diff(&va, &vb),
+    })
+}
+
+/// One-line rendering of a JSON value for divergence reports.
+fn compact(v: &Value) -> String {
+    let s = v.pretty().split_whitespace().collect::<Vec<_>>().join(" ");
+    if s.len() > 160 {
+        let head: String = s.chars().take(160).collect();
+        format!("{head}...")
+    } else {
+        s
+    }
+}
+
+/// First differing top-level key between two JSON objects (non-objects
+/// fall back to whole-value comparison).
+fn first_key_diff(a: &Value, b: &Value) -> Option<String> {
+    if let (Value::Object(ma), Value::Object(mb)) = (a, b) {
+        let keys: std::collections::BTreeSet<&String> = ma.keys().chain(mb.keys()).collect();
+        for k in keys {
+            match (ma.get(k), mb.get(k)) {
+                (Some(x), Some(y)) if x == y => {}
+                (Some(Value::Str(sx)), Some(Value::Str(sy)))
+                    if sx.len() > 80 || sy.len() > 80 =>
+                {
+                    let (wx, wy) = str_diff_windows(sx, sy);
+                    return Some(format!("`{k}` differs: {wx:?} vs {wy:?}"));
+                }
+                (Some(x), Some(y)) => {
+                    return Some(format!(
+                        "`{k}` differs: {} vs {}",
+                        compact(x),
+                        compact(y)
+                    ))
+                }
+                (Some(_), None) => return Some(format!("`{k}` only in first run")),
+                (None, Some(_)) => return Some(format!("`{k}` only in second run")),
+                (None, None) => {}
+            }
+        }
+        None
+    } else if a == b {
+        None
+    } else {
+        Some(format!("differs: {} vs {}", compact(a), compact(b)))
+    }
+}
+
+/// For long strings, a window around the first differing character —
+/// a full config dump differing in one field should show that field,
+/// not two identical-looking truncated prefixes.
+fn str_diff_windows(a: &str, b: &str) -> (String, String) {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let mut p = 0;
+    while p < ac.len() && p < bc.len() && ac[p] == bc[p] {
+        p += 1;
+    }
+    let start = p.saturating_sub(20);
+    let window = |c: &[char]| {
+        let end = (start + 120).min(c.len());
+        let mut s = String::new();
+        if start > 0 {
+            s.push_str("...");
+        }
+        s.extend(&c[start..end]);
+        if end < c.len() {
+            s.push_str("...");
+        }
+        s
+    };
+    (window(&ac), window(&bc))
+}
+
+/// First differing entry between two JSON arrays of `unit`s.
+fn first_record_diff(unit: &str, a: &Value, b: &Value) -> Result<Option<String>, String> {
+    let ra = a.as_array().ok_or(format!("first run: not an array of {unit}s"))?;
+    let rb = b.as_array().ok_or(format!("second run: not an array of {unit}s"))?;
+    for (i, (x, y)) in ra.iter().zip(rb).enumerate() {
+        if x != y {
+            return Ok(Some(format!(
+                "first divergence at {unit} {i}: {} vs {}",
+                compact(x),
+                compact(y)
+            )));
+        }
+    }
+    if ra.len() != rb.len() {
+        return Ok(Some(format!(
+            "{} vs {} {unit}s (common prefix identical)",
+            ra.len(),
+            rb.len()
+        )));
+    }
+    Ok(None)
+}
+
+/// First differing line between two text artifacts.
+fn line_diff(ta: &str, tb: &str) -> Option<String> {
+    for (i, (la, lb)) in ta.lines().zip(tb.lines()).enumerate() {
+        if la != lb {
+            return Some(format!(
+                "first divergence at line {}: {la:?} vs {lb:?}",
+                i + 1
+            ));
+        }
+    }
+    let (na, nb) = (ta.lines().count(), tb.lines().count());
+    (na != nb).then(|| format!("{na} vs {nb} lines (common prefix identical)"))
+}
+
+/// Span-sketch comparison: names the first (stage, hop) whose sketch
+/// disagrees, then sweeps the header fields (trace mode, packet and
+/// drop tallies).
+fn spans_diff(a: &Value, b: &Value) -> Result<Option<String>, String> {
+    let rows = |v: &Value| v.get("stages").and_then(Value::as_array).unwrap_or(&[]).to_vec();
+    let (ra, rb) = (rows(a), rows(b));
+    for (x, y) in ra.iter().zip(&rb) {
+        if x != y {
+            let stage = x.get("stage").and_then(Value::as_str).unwrap_or("?");
+            let hop = x.get("hop").and_then(Value::as_i64).unwrap_or(0);
+            let count = |v: &Value| v.get("count").and_then(Value::as_i64).unwrap_or(0);
+            let p50 = |v: &Value| v.get("p50").and_then(Value::as_f64).unwrap_or(0.0);
+            return Ok(Some(format!(
+                "sketch {stage}@{hop} differs (count {} vs {}, p50 {:.0} vs {:.0} ns)",
+                count(x),
+                count(y),
+                p50(x),
+                p50(y)
+            )));
+        }
+    }
+    if ra.len() != rb.len() {
+        return Ok(Some(format!(
+            "{} vs {} sketch rows (common prefix identical)",
+            ra.len(),
+            rb.len()
+        )));
+    }
+    let strip = |v: &Value| {
+        let mut v = v.clone();
+        if let Value::Object(m) = &mut v {
+            m.remove("stages");
+        }
+        v
+    };
+    Ok(first_key_diff(&strip(a), &strip(b)))
+}
+
+/// `--diff-smoke`: the differ's own regression. Two full-trace incasts
+/// at the same seed must report no divergence (tracing and export are
+/// deterministic); bumping the seed must produce a first-divergence
+/// report.
+fn try_diff_smoke() -> Result<(), String> {
+    use experiments::incast::IncastExpConfig;
+    use experiments::Proto;
+    use telemetry::{LogMode, TelemetryConfig, TraceConfig};
+
+    // Every run exports under the same name and is renamed afterwards:
+    // the manifest records the full experiment config (which embeds the
+    // export name), so distinct export names would read as a config
+    // divergence between otherwise-identical runs.
+    let run = |name: &str, seed: u64| -> Result<PathBuf, String> {
+        let mut cfg = IncastExpConfig::testbed(Proto::Tfc, 6, 1);
+        cfg.seed = seed;
+        cfg.telemetry = TelemetryConfig {
+            events: LogMode::Full,
+            sample_one_in: 1,
+            tfc_gauges: true,
+            // Wall-clock timings are never comparable across runs.
+            profile: false,
+            trace: TraceConfig::Full,
+            export: Some("diffsmoke".to_string()),
+        };
+        experiments::incast::run(&cfg);
+        let src = telemetry::export::results_dir().join("diffsmoke");
+        let dst = telemetry::export::results_dir().join(name);
+        std::fs::remove_dir_all(&dst).ok();
+        std::fs::rename(&src, &dst)
+            .map_err(|e| format!("{} -> {}: {e}", src.display(), dst.display()))?;
+        if dst.join("manifest.json").exists() {
+            Ok(dst)
+        } else {
+            Err(format!("no artifacts under {}", dst.display()))
+        }
+    };
+    println!("running diff-smoke incasts (two at seed 7, one at seed 8)...");
+    let a = run("diffsmoke-a", 7)?;
+    let b = run("diffsmoke-b", 7)?;
+    let c = run("diffsmoke-c", 8)?;
+    match diff_runs(&a, &b)? {
+        None => println!("same-seed runs: no divergence"),
+        Some(d) => return Err(format!("same-seed runs diverge: {d}")),
+    }
+    match diff_runs(&a, &c)? {
+        Some(d) => println!("perturbed-seed runs: first divergence: {d}"),
+        None => return Err("perturbed-seed runs show no divergence".into()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::json;
+
+    #[test]
+    fn key_diff_names_the_field() {
+        let a = json::parse(r#"{"seed": 7, "x": 1}"#).unwrap();
+        let b = json::parse(r#"{"seed": 8, "x": 1}"#).unwrap();
+        assert_eq!(first_key_diff(&a, &a), None);
+        let d = first_key_diff(&a, &b).unwrap();
+        assert!(d.contains("`seed`") && d.contains('7') && d.contains('8'), "{d}");
+    }
+
+    #[test]
+    fn record_diff_finds_the_first_index() {
+        let a = json::parse(r#"[{"k": 1}, {"k": 2}, {"k": 3}]"#).unwrap();
+        let b = json::parse(r#"[{"k": 1}, {"k": 9}, {"k": 3}]"#).unwrap();
+        assert_eq!(first_record_diff("record", &a, &a).unwrap(), None);
+        let d = first_record_diff("record", &a, &b).unwrap().unwrap();
+        assert!(d.contains("record 1"), "{d}");
+        let short = json::parse(r#"[{"k": 1}]"#).unwrap();
+        let d = first_record_diff("record", &a, &short).unwrap().unwrap();
+        assert!(d.contains("3 vs 1"), "{d}");
+    }
+
+    #[test]
+    fn line_diff_is_one_indexed() {
+        assert_eq!(line_diff("a\nb\n", "a\nb\n"), None);
+        let d = line_diff("a\nb\nc\n", "a\nx\nc\n").unwrap();
+        assert!(d.contains("line 2"), "{d}");
+        let d = line_diff("a\n", "a\nb\n").unwrap();
+        assert!(d.contains("1 vs 2 lines"), "{d}");
+    }
+
+    #[test]
+    fn manifest_diff_ignores_run_and_git_only() {
+        let a = r#"{"run": "x", "git": "aaa", "seed": 7}"#;
+        let b = r#"{"run": "y", "git": "bbb", "seed": 7}"#;
+        assert_eq!(diff_file("manifest.json", a, b).unwrap(), None);
+        let c = r#"{"run": "y", "git": "bbb", "seed": 8}"#;
+        let d = diff_file("manifest.json", a, c).unwrap().unwrap();
+        assert!(d.contains("`seed`"), "{d}");
+    }
+
+    #[test]
+    fn spans_diff_names_the_sketch() {
+        let a = r#"{"trace": "full", "stages": [{"stage": "sw_q", "hop": 1, "count": 4, "p50": 100}]}"#;
+        let b = r#"{"trace": "full", "stages": [{"stage": "sw_q", "hop": 1, "count": 5, "p50": 120}]}"#;
+        assert_eq!(diff_file("spans.json", a, a).unwrap(), None);
+        let d = diff_file("spans.json", a, b).unwrap().unwrap();
+        assert!(d.contains("sw_q@1") && d.contains("4 vs 5"), "{d}");
+    }
 }
 
 /// The recovery section: fault windows paired from the event log, the

@@ -31,7 +31,9 @@ pub struct DelayArbiter {
     counter: f64,
     cap: f64,
     last_refill: Time,
-    queue: VecDeque<Packet>,
+    /// Held ACKs with the time they entered the queue (the hold start),
+    /// so releases can report how long each flow waited for its token.
+    queue: VecDeque<(Time, Packet)>,
     /// Gate full windows through the counter too (see `set_gate_all`).
     gate_all: bool,
     /// Total ACKs ever delayed (diagnostics).
@@ -100,7 +102,7 @@ impl DelayArbiter {
             ArbiterVerdict::Forward
         } else {
             self.delayed_total += 1;
-            self.queue.push_back(pkt.clone());
+            self.queue.push_back((now, pkt.clone()));
             ArbiterVerdict::Delayed
         }
     }
@@ -115,19 +117,20 @@ impl DelayArbiter {
     }
 
     /// Releases every queued ACK the refilled counter can pay for.
-    /// Returns the released packets (windows rewritten to one MSS).
-    pub fn release(&mut self, now: Time) -> Vec<Packet> {
+    /// Returns the released packets (windows rewritten to one MSS) with
+    /// how long each was held — the flow's token acquire wait.
+    pub fn release(&mut self, now: Time) -> Vec<(Packet, Dur)> {
         self.refill(now);
         let mut out = Vec::new();
-        while let Some(head) = self.queue.front() {
+        while let Some((_, head)) = self.queue.front() {
             let need = self.need_of(head);
             if self.counter < need {
                 break;
             }
-            let mut pkt = self.queue.pop_front().expect("checked non-empty");
+            let (held_since, mut pkt) = self.queue.pop_front().expect("checked non-empty");
             pkt.window = pkt.window.max(MSS);
             self.counter -= need;
-            out.push(pkt);
+            out.push((pkt, now.since(held_since)));
         }
         out
     }
@@ -135,7 +138,7 @@ impl DelayArbiter {
     /// Time until the head-of-line delayed ACK can be released, or
     /// `None` when the queue is empty.
     pub fn next_release_in(&self, now: Time) -> Option<Dur> {
-        let head = self.queue.front()?;
+        let (_, head) = self.queue.front()?;
         let need = self.need_of(head);
         let counter = self.peek_counter(now);
         if counter >= need {
@@ -235,10 +238,12 @@ mod tests {
         // At 1 Gbps the counter refills 125 bytes/µs; 3 MSS ≈ 35 µs.
         let released = a.release(Time(40_000));
         assert_eq!(released.len(), 3);
-        assert_eq!(released[0].flow, FlowId(0));
-        assert_eq!(released[2].flow, FlowId(2));
-        for p in &released {
+        assert_eq!(released[0].0.flow, FlowId(0));
+        assert_eq!(released[2].0.flow, FlowId(2));
+        for (p, held) in &released {
             assert_eq!(p.window, MSS);
+            // All were queued at t = 0 and released at t = 40 µs.
+            assert_eq!(*held, Dur(40_000));
         }
     }
 
@@ -281,7 +286,8 @@ mod tests {
         second.flow = FlowId(11);
         assert_eq!(a.offer(&mut second, Time(20_000)), ArbiterVerdict::Delayed);
         let released = a.release(Time(20_000));
-        assert_eq!(released[0].flow, FlowId(10));
+        assert_eq!(released[0].0.flow, FlowId(10));
+        assert_eq!(released[0].1, Dur(20_000));
     }
 
     #[test]
@@ -307,7 +313,7 @@ mod tests {
                 }
             }
             let end = Time(horizon_us * 1_000);
-            granted += a.release(end).iter().map(|p| p.window).sum::<u64>();
+            granted += a.release(end).iter().map(|(p, _)| p.window).sum::<u64>();
             let budget = 20_000.0 + 125.0 * horizon_us as f64 + MSS as f64;
             assert!(
                 (granted as f64) <= budget,

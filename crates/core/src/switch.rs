@@ -251,7 +251,10 @@ impl SwitchPolicy for TfcSwitchPolicy {
             KIND_RELEASE => {
                 self.ports[port].release_armed = false;
                 let released = self.ports[port].arbiter.release(now);
-                for pkt in released {
+                for (pkt, held) in released {
+                    // The hold is the flow's token/window acquire wait;
+                    // report it before the ACK re-enters the fabric.
+                    fx.token_wait(pkt.flow.0, held.as_nanos());
                     fx.inject(pkt);
                 }
                 self.arm_release_timer(port, now, fx);
@@ -524,7 +527,7 @@ mod proptests {
                     granted += pkt.window.max(MSS).div_ceil(MSS) * MSS;
                 }
             }
-            for pkt in a.release(now) {
+            for (pkt, _) in a.release(now) {
                 granted += pkt.window.max(MSS).div_ceil(MSS) * MSS;
             }
             if gate_all {

@@ -2,13 +2,14 @@
 //!
 //! A driver that finds [`TelemetryConfig::export`] set on its simulator
 //! writes the full artifact bundle (manifest, counters, events, flows,
-//! TFC slot gauges) under `results/<run>/` via [`maybe_export`]. With
-//! export unset (the default) nothing touches the filesystem.
+//! TFC slot gauges, lifecycle-span sketches, legacy trace series) under
+//! `results/<run>/` via [`maybe_export`]. With export unset (the
+//! default) nothing touches the filesystem.
 
 use std::path::PathBuf;
 
 use simnet::sim::SimCore;
-use telemetry::export::{export_run, git_describe};
+use telemetry::export::{export_run, git_describe, SimMeta};
 use telemetry::{FlowSummary, RunManifest};
 
 /// Copies per-flow ground truth out of the simulator core.
@@ -33,26 +34,43 @@ pub fn flow_summaries(core: &SimCore) -> Vec<FlowSummary> {
 /// Exports the run's artifacts if the simulator was configured with an
 /// export name; returns the artifact directory. Export failures are
 /// reported on stderr but never abort the experiment.
+///
+/// This is the single tracing exit point: the structured event log, the
+/// span sketches, and the legacy `TraceCenter` rho/queue series all
+/// leave through the same `results/<run>/` bundle.
 pub fn maybe_export(
     core: &SimCore,
     topology: impl Into<String>,
     config: impl Into<String>,
 ) -> Option<PathBuf> {
     let run = core.config().telemetry.export.clone()?;
+    let cfg = core.config();
     let manifest = RunManifest {
         run,
-        seed: core.config().seed,
+        seed: cfg.seed,
         topology: topology.into(),
         config: config.into(),
         git: git_describe(),
+        sim: Some(SimMeta {
+            scheduler: format!("{:?}", cfg.scheduler),
+            coalesce: cfg.coalesce,
+            trace: cfg.telemetry.trace.describe(),
+        }),
     };
     let tel = core.telemetry();
+    let series: Vec<(&str, &[(u64, f64)])> = core
+        .trace()
+        .iter()
+        .map(|(name, ts)| (name, ts.points()))
+        .collect();
     match export_run(
         &manifest,
         &tel.log,
         &tel.loop_stats,
         &tel.slots,
         &flow_summaries(core),
+        &tel.spans,
+        &series,
     ) {
         Ok(dir) => Some(dir),
         Err(e) => {

@@ -119,6 +119,7 @@ impl FaultsConfig {
                 sample_one_in: 1,
                 tfc_gauges: true,
                 profile: false,
+                trace: telemetry::TraceConfig::Off,
                 export: None,
             },
         }

@@ -11,7 +11,9 @@
 //! * summary statistics ([`Summary`]),
 //! * flow-completion-time bookkeeping with the paper's size bins
 //!   ([`FctCollector`], [`SizeBin`]),
-//! * logarithmic histograms for latency shapes ([`Histogram`]).
+//! * logarithmic histograms for latency shapes ([`Histogram`]),
+//! * mergeable streaming quantile sketches with bounded memory and a
+//!   relative error guarantee ([`QuantileSketch`]).
 //!
 //! All times are `u64` nanoseconds and all derived statistics are `f64`;
 //! this crate knows nothing about the network simulator.
@@ -22,6 +24,7 @@ pub mod fct;
 pub mod histogram;
 pub mod percentile;
 pub mod rate;
+pub mod sketch;
 pub mod summary;
 pub mod timeseries;
 
@@ -31,6 +34,7 @@ pub use fct::{FctCollector, FctSummary, FlowRecord, SizeBin};
 pub use histogram::Histogram;
 pub use percentile::Sampler;
 pub use rate::RateMeter;
+pub use sketch::QuantileSketch;
 pub use summary::{jain_index, Summary};
 pub use timeseries::TimeSeries;
 

@@ -38,6 +38,13 @@ impl PacketId {
     pub fn index(self) -> u32 {
         self.idx
     }
+
+    /// Packs `(generation, index)` into one `u64`, unique over a run:
+    /// slots recycle but generations only grow. Used as the span-tracker
+    /// map key so recycled slots never alias a live span.
+    pub fn key(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.idx)
+    }
 }
 
 #[derive(Debug)]

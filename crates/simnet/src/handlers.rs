@@ -159,6 +159,10 @@ impl SimCore {
             // The packet propagated into a link that died under it:
             // lost without trace at the receiving end.
             self.record_fault_drop(node, port, pkt);
+            if self.telemetry.spans.enabled() {
+                let flow = self.packets.get(pkt).flow.0;
+                self.telemetry.spans.on_drop(pkt.key(), flow);
+            }
             self.packets.free(pkt);
             return;
         }
@@ -262,10 +266,11 @@ impl SimCore {
         tel: &mut Telemetry,
     ) -> bool {
         let id = node.id();
+        let is_host = matches!(node, Node::Host(_));
         let port = node.port_mut(port_idx);
-        let (wire, flow, seq) = {
+        let (wire, flow, seq, data) = {
             let p = arena.get(pkt);
-            (p.wire_bytes(), p.flow.0, p.seq)
+            (p.wire_bytes(), p.flow.0, p.seq, p.is_data())
         };
         let meta = tel.log.enabled().then_some((flow, seq));
         // The fault RNG is only drawn inside an active loss window, so
@@ -287,9 +292,17 @@ impl SimCore {
                     },
                 );
             }
+            tel.spans.on_drop(pkt.key(), flow);
             return false;
         }
         let accepted = port.queue.enqueue(pkt, wire);
+        if accepted {
+            // Starts the span on first sight (sender NIC) or closes the
+            // preceding wire segment and advances the hop (switch).
+            tel.spans.on_enqueue(pkt.key(), flow, data, is_host, now.nanos());
+        } else {
+            tel.spans.on_drop(pkt.key(), flow);
+        }
         if let Some((flow, seq)) = meta {
             let event = if accepted {
                 TraceEvent::PktEnqueue {
@@ -368,6 +381,16 @@ impl SimCore {
             };
             self.telemetry.log.record(now.nanos(), ev);
         }
+        if self.telemetry.spans.enabled() {
+            let flow = self.packets.get(pkt).flow.0;
+            if up {
+                // Closes the queue-wait segment at this hop; wire time
+                // runs from here to the next enqueue or delivery.
+                self.telemetry.spans.on_dequeue(pkt.key(), flow, now.nanos());
+            } else {
+                self.telemetry.spans.on_drop(pkt.key(), flow);
+            }
+        }
         let next_ser = {
             let port = self.nodes[node.0 as usize].port_mut(port_idx);
             if port.queue.is_empty() {
@@ -424,7 +447,12 @@ impl SimCore {
             self.switch_egress(node, pkt, true);
         } else {
             // Consumed (e.g. the TFC delay arbiter holds its own copy);
-            // the in-fabric slot is done.
+            // the in-fabric slot is done. Not a loss: the span is
+            // forgotten without a drop count.
+            if self.telemetry.spans.enabled() {
+                let flow = self.packets.get(pkt).flow.0;
+                self.telemetry.spans.on_consumed(pkt.key(), flow);
+            }
             self.packets.free(pkt);
         }
         self.apply_policy_fx(node, fx);
@@ -481,6 +509,12 @@ impl SimCore {
                 &mut self.fault_rng,
                 &mut self.telemetry,
             );
+            if accepted && self.telemetry.spans.enabled() {
+                let p = self.packets.get(pkt);
+                if !ce_before && p.flags.contains(Flags::CE) {
+                    self.telemetry.spans.on_ecn(pkt.key(), p.flow.0);
+                }
+            }
             if accepted {
                 if let Some((flow, seq, ecn_marked, round_marked, window)) = marks {
                     if ecn_marked {
@@ -515,6 +549,10 @@ impl SimCore {
             }
         } else {
             // Policy-initiated drop: silent, as the pre-arena core was.
+            if self.telemetry.spans.enabled() {
+                let flow = self.packets.get(pkt).flow.0;
+                self.telemetry.spans.on_drop(pkt.key(), flow);
+            }
             self.packets.free(pkt);
         }
         self.apply_policy_fx(node, fx);
@@ -547,6 +585,9 @@ impl SimCore {
         for mut sample in fx.slot_samples {
             sample.at_ns = self.now.nanos();
             self.telemetry.push_slot_sample(sample);
+        }
+        for (flow, waited_ns) in fx.token_waits {
+            self.telemetry.spans.on_token_wait(flow, waited_ns);
         }
     }
 
@@ -649,6 +690,7 @@ impl SimCore {
             if h.stalled {
                 // A stalled host's endpoints see nothing.
                 h.nic.fault_drops += 1;
+                self.telemetry.spans.on_drop(pkt.key(), flow.0);
                 self.packets.free(pkt);
                 return;
             }
@@ -679,6 +721,16 @@ impl SimCore {
                 false // Stale packet of a torn-down flow.
             }
         };
+        if self.telemetry.spans.enabled() {
+            if known {
+                let sent_ns = self.packets.get(pkt).sent_at.nanos();
+                // Final wire segment plus end-to-end from the emit stamp.
+                self.telemetry.spans.on_deliver(pkt.key(), flow.0, sent_ns, now.nanos());
+            } else {
+                // Stale packet of a torn-down flow: forgotten, not lost.
+                self.telemetry.spans.on_consumed(pkt.key(), flow.0);
+            }
+        }
         // The endpoint has seen the packet; the slot is recyclable
         // before effects apply (effects never reference the packet).
         self.packets.free(pkt);

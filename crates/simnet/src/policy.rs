@@ -28,6 +28,10 @@ pub struct PolicyFx {
     /// stamps the time and forwards them to the telemetry layer (which
     /// discards them unless gauge collection is enabled).
     pub slot_samples: Vec<telemetry::PortSlotSample>,
+    /// Token/window acquire waits `(flow, nanos)` reported when the TFC
+    /// delay arbiter releases a held ACK. Routed into the lifecycle-span
+    /// tracker (which discards them unless span tracing is enabled).
+    pub token_waits: Vec<(u64, u64)>,
 }
 
 impl PolicyFx {
@@ -59,6 +63,12 @@ impl PolicyFx {
     /// Emits a TFC slot gauge sample.
     pub fn slot_sample(&mut self, sample: telemetry::PortSlotSample) {
         self.slot_samples.push(sample);
+    }
+
+    /// Reports how long the delay arbiter held `flow`'s ACK before
+    /// releasing it (the token/window acquire wait).
+    pub fn token_wait(&mut self, flow: u64, waited_ns: u64) {
+        self.token_waits.push((flow, waited_ns));
     }
 }
 

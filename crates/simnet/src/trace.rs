@@ -1,4 +1,17 @@
-//! Trace collection: named time series and periodic samplers.
+//! Legacy trace collection: named time series and periodic samplers.
+//!
+//! This is the *pre-span* tracing path — free-form `(time, value)`
+//! series recorded under string keys by switch policies
+//! (`PolicyFx::trace`, e.g. per-port rho) and [`QueueSampler`]s, read
+//! back in-process by experiments. Causal per-packet tracing lives in
+//! `telemetry::span` and is the preferred entry point for new
+//! instrumentation: it is sampled, bounded-memory, and keyed to the
+//! packet lifecycle rather than wall-clock polling.
+//!
+//! Both paths leave through the same per-run export: the experiment
+//! harness flattens these series into `results/<run>/traces.csv`
+//! alongside `spans.json`, so `tfc-trace` (including `tfc-trace diff`)
+//! sees one artifact bundle regardless of which layer recorded.
 
 use std::collections::BTreeMap;
 

@@ -1,13 +1,19 @@
 //! Per-run artifact exporters.
 //!
-//! A run exports up to five files under `results/<run>/`:
+//! A run exports up to seven files under `results/<run>/`:
 //!
-//! * `manifest.json` — seed, topology, config, git describe;
+//! * `manifest.json` — seed, topology, config, simulator backend
+//!   settings, git describe;
 //! * `counters.json` — exact per-kind event counts plus the event-loop
 //!   profile rows;
 //! * `events.json` — the stored [`EventRecord`]s (sampled/ring-bounded);
 //! * `flows.json` — per-flow ground-truth summaries from the simulator;
-//! * `tfc_slots.csv` — the per-port TFC gauge time series.
+//! * `tfc_slots.csv` — the per-port TFC gauge time series;
+//! * `spans.json` — per-hop lifecycle-span sketches (only when span
+//!   tracing is on, so `TraceConfig::Off` artifact sets stay
+//!   byte-identical to pre-span runs);
+//! * `traces.csv` — the legacy named rho/queue time series from
+//!   `simnet::trace::TraceCenter` (only when non-empty).
 //!
 //! Everything is plain JSON/CSV readable by `tfc-trace` (via
 //! [`crate::json::parse`]) or any external tool.
@@ -21,6 +27,7 @@ use std::process::Command;
 use crate::counters::{LoopStats, PortSlotSample};
 use crate::event::{EventLog, EventRecord, TraceEvent, EVENT_KIND_NAMES};
 use crate::json::{Map, Value};
+use crate::span::SpanTracker;
 
 /// Metadata making a run reproducible from its artifacts alone.
 #[derive(Debug, Clone)]
@@ -35,6 +42,23 @@ pub struct RunManifest {
     pub config: String,
     /// `git describe` of the tree that produced the artifacts.
     pub git: String,
+    /// Simulator backend settings, when the run came from the event
+    /// loop (`None` for figure dumps and other non-sim artifacts).
+    pub sim: Option<SimMeta>,
+}
+
+/// Which simulator backend produced a run — recorded in the manifest so
+/// artifacts are self-describing (`tfc-trace diff` ignores none of
+/// these: a heap run and a wheel run of the same experiment are still
+/// the same simulation, but the manifest says which one you're holding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimMeta {
+    /// Event-queue backend (`Debug` form of `SchedulerKind`).
+    pub scheduler: String,
+    /// Whether same-tick switch arrivals were batch-dispatched.
+    pub coalesce: bool,
+    /// Lifecycle-span tracing mode ([`crate::TraceConfig::describe`]).
+    pub trace: String,
 }
 
 /// Best-effort `git describe --always --dirty` of the working tree;
@@ -85,13 +109,24 @@ pub struct FlowSummary {
 }
 
 fn manifest_json(m: &RunManifest) -> Value {
-    crate::json!({
+    let mut doc = crate::json!({
         "run": m.run.as_str(),
         "seed": m.seed,
         "topology": m.topology.as_str(),
         "config": m.config.as_str(),
         "git": m.git.as_str(),
-    })
+    });
+    if let (Value::Object(map), Some(sim)) = (&mut doc, &m.sim) {
+        map.insert(
+            "sim".to_string(),
+            crate::json!({
+                "scheduler": sim.scheduler.as_str(),
+                "coalesce": sim.coalesce,
+                "trace": sim.trace.as_str(),
+            }),
+        );
+    }
+    doc
 }
 
 fn counters_json(log: &EventLog, loop_stats: &LoopStats) -> Value {
@@ -357,14 +392,34 @@ pub fn write_manifest(manifest: &RunManifest) -> io::Result<PathBuf> {
     Ok(dir)
 }
 
+/// Column header of `traces.csv` (flattened legacy named time series).
+pub const TRACES_CSV_HEADER: &str = "series,at_ns,value";
+
+fn traces_csv(series: &[(&str, &[(u64, f64)])]) -> String {
+    let mut out = String::from(TRACES_CSV_HEADER);
+    out.push('\n');
+    for (name, points) in series {
+        for (at_ns, value) in *points {
+            let _ = writeln!(out, "{name},{at_ns},{value}");
+        }
+    }
+    out
+}
+
 /// Writes the full artifact set under `results/<manifest.run>/` and
 /// returns the directory path.
+///
+/// `spans.json` is written only when span tracing is enabled and
+/// `traces.csv` only when legacy series exist, so a `TraceConfig::Off`
+/// run without samplers produces exactly the historical five files.
 pub fn export_run(
     manifest: &RunManifest,
     log: &EventLog,
     loop_stats: &LoopStats,
     slots: &[PortSlotSample],
     flows: &[FlowSummary],
+    spans: &SpanTracker,
+    series: &[(&str, &[(u64, f64)])],
 ) -> io::Result<PathBuf> {
     let dir = write_manifest(manifest)?;
     fs::write(dir.join("counters.json"), counters_json(log, loop_stats).pretty())?;
@@ -372,6 +427,12 @@ pub fn export_run(
     fs::write(dir.join("events.json"), events.pretty())?;
     fs::write(dir.join("flows.json"), flows_json(flows).pretty())?;
     fs::write(dir.join("tfc_slots.csv"), slots_csv(slots))?;
+    if spans.enabled() {
+        fs::write(dir.join("spans.json"), spans.to_json().pretty())?;
+    }
+    if !series.is_empty() {
+        fs::write(dir.join("traces.csv"), traces_csv(series))?;
+    }
     Ok(dir)
 }
 
@@ -447,20 +508,50 @@ mod tests {
             topology: "star(2)".into(),
             config: "Cfg { x: 1 }".into(),
             git: "deadbeef".into(),
+            sim: Some(SimMeta {
+                scheduler: "Wheel".into(),
+                coalesce: true,
+                trace: "full".into(),
+            }),
         };
-        let out = export_run(&manifest, &log, &stats, &[sample()], &flows).unwrap();
+        let mut spans = SpanTracker::new(crate::TraceConfig::Full);
+        spans.on_enqueue(1, 7, true, true, 0);
+        spans.on_dequeue(1, 7, 50);
+        spans.on_deliver(1, 7, 0, 120);
+        let points: &[(u64, f64)] = &[(10, 0.5), (20, 0.75)];
+        let out = export_run(
+            &manifest,
+            &log,
+            &stats,
+            &[sample()],
+            &flows,
+            &spans,
+            &[("sw1.p0.rho", points)],
+        )
+        .unwrap();
         for f in [
             "manifest.json",
             "counters.json",
             "events.json",
             "flows.json",
             "tfc_slots.csv",
+            "spans.json",
+            "traces.csv",
         ] {
             assert!(out.join(f).exists(), "{f} missing");
         }
         // Everything JSON parses back, and key fields survive.
         let m = json::parse(&std::fs::read_to_string(out.join("manifest.json")).unwrap()).unwrap();
         assert_eq!(m.get("seed").unwrap().as_i64(), Some(3));
+        let sim = m.get("sim").unwrap();
+        assert_eq!(sim.get("scheduler").unwrap().as_str(), Some("Wheel"));
+        assert_eq!(sim.get("coalesce").unwrap().as_bool(), Some(true));
+        assert_eq!(sim.get("trace").unwrap().as_str(), Some("full"));
+        let sp = json::parse(&std::fs::read_to_string(out.join("spans.json")).unwrap()).unwrap();
+        assert_eq!(sp.get("tracked_packets").unwrap().as_i64(), Some(1));
+        let tr = std::fs::read_to_string(out.join("traces.csv")).unwrap();
+        assert!(tr.starts_with(TRACES_CSV_HEADER));
+        assert!(tr.contains("sw1.p0.rho,10,0.5"));
         let c = json::parse(&std::fs::read_to_string(out.join("counters.json")).unwrap()).unwrap();
         assert_eq!(
             c.get("events").unwrap().get("pkt_drop").unwrap().as_i64(),
@@ -476,6 +567,23 @@ mod tests {
             fl.as_array().unwrap()[0].get("delivered").unwrap().as_i64(),
             Some(14_600)
         );
+        // An untraced run exports exactly the historical five files.
+        let off = RunManifest { run: "unit-off".into(), sim: None, ..manifest };
+        let out_off = export_run(
+            &off,
+            &log,
+            &stats,
+            &[sample()],
+            &flows,
+            &SpanTracker::new(crate::TraceConfig::Off),
+            &[],
+        )
+        .unwrap();
+        assert!(!out_off.join("spans.json").exists());
+        assert!(!out_off.join("traces.csv").exists());
+        let m_off =
+            json::parse(&std::fs::read_to_string(out_off.join("manifest.json")).unwrap()).unwrap();
+        assert!(m_off.get("sim").is_none());
         std::fs::remove_dir_all(&dir).ok();
         std::env::remove_var("TFC_RESULTS_DIR");
     }

@@ -79,6 +79,14 @@ impl Value {
         }
     }
 
+    /// Boolean content, `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Integer content (`Int`, or a `Float` with integral value).
     pub fn as_i64(&self) -> Option<i64> {
         match self {

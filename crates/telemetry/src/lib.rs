@@ -7,9 +7,12 @@
 //! * [`counters::LoopStats`] and [`counters::PortSlotSample`] — sim-wide
 //!   per-event-type counters (with an optional wall-clock profiling
 //!   hook) and per-port TFC gauges sampled at every slot close;
+//! * [`span::SpanTracker`] — causal per-packet lifecycle spans (queue
+//!   wait, wire, token wait, end-to-end) aggregated per hop into
+//!   streaming quantile sketches, behind a [`TraceConfig`];
 //! * [`export`] — per-run artifact writers (`results/<run>/`:
-//!   manifest, counters, events, flows, slot CSV) consumed by the
-//!   `tfc-trace` binary.
+//!   manifest, counters, events, flows, slot CSV, span sketches)
+//!   consumed by the `tfc-trace` binary.
 //!
 //! The crate is a leaf below the simulator: node/flow/time fields are
 //! plain integers, and the simulator, protocols, and experiments all
@@ -20,10 +23,12 @@ pub mod counters;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod span;
 
 pub use counters::{LoopStats, PortSlotSample};
 pub use event::{EventLog, EventRecord, LogMode, TraceEvent, EVENT_KIND_NAMES};
-pub use export::{FlowSummary, RunManifest};
+pub use export::{FlowSummary, RunManifest, SimMeta};
+pub use span::{SpanTracker, TraceConfig};
 
 /// What a simulation run should collect and where it should go.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +42,10 @@ pub struct TelemetryConfig {
     pub tfc_gauges: bool,
     /// Time event-loop handlers per event type (wall clock).
     pub profile: bool,
+    /// Per-packet lifecycle spans aggregated into streaming sketches
+    /// (off by default; `Off` is asserted byte-identical and
+    /// zero-record by regression tests).
+    pub trace: TraceConfig,
     /// Export artifacts under `results/<name>/` after the run (driven
     /// by the experiment harness, not the simulator itself).
     pub export: Option<String>,
@@ -49,6 +58,7 @@ impl Default for TelemetryConfig {
             sample_one_in: 1,
             tfc_gauges: false,
             profile: false,
+            trace: TraceConfig::Off,
             export: None,
         }
     }
@@ -61,13 +71,15 @@ impl TelemetryConfig {
     }
 
     /// Full tracing with artifact export: unbounded unsampled event
-    /// list, TFC gauges, and the event-loop profile.
+    /// list, TFC gauges, lifecycle spans for every flow, and the
+    /// event-loop profile.
     pub fn full(run: impl Into<String>) -> Self {
         Self {
             events: LogMode::Full,
             sample_one_in: 1,
             tfc_gauges: true,
             profile: true,
+            trace: TraceConfig::Full,
             export: Some(run.into()),
         }
     }
@@ -82,6 +94,8 @@ pub struct Telemetry {
     pub loop_stats: LoopStats,
     /// TFC per-port slot gauges, in slot-close order.
     pub slots: Vec<PortSlotSample>,
+    /// Packet-lifecycle spans aggregated into streaming sketches.
+    pub spans: SpanTracker,
     gauges: bool,
 }
 
@@ -96,6 +110,7 @@ impl Telemetry {
             log: EventLog::new(cfg.events, cfg.sample_one_in, seed ^ 0x7e1e_6e72_7261_ce00),
             loop_stats: LoopStats::new(loop_names, cfg.profile),
             slots: Vec::new(),
+            spans: SpanTracker::new(cfg.trace),
             gauges: cfg.tfc_gauges,
         }
     }
@@ -143,6 +158,7 @@ mod tests {
         assert!(!t.log.enabled());
         assert!(!t.gauges_enabled());
         assert!(!t.loop_stats.profiled());
+        assert!(!t.spans.enabled());
     }
 
     #[test]
@@ -152,6 +168,7 @@ mod tests {
         let mut t = Telemetry::new(&cfg, 1, &NAMES);
         assert!(t.log.enabled());
         assert!(t.loop_stats.profiled());
+        assert!(t.spans.enabled());
         t.push_slot_sample(sample());
         assert_eq!(t.slots.len(), 1);
     }

@@ -39,16 +39,32 @@ TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-flap" | grep "tokens reclaimed" >/dev/null
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-stall" | grep "fault windows:" >/dev/null
 
+# Zero-overhead tracing gate: TraceConfig::Off must record nothing and
+# leave artifacts byte-identical to a traced run's non-span files.
+cargo test -q -p tfc-repro --test spans
+
+# Run-diff self-test: two same-seed full-trace runs must compare clean,
+# and a perturbed seed must yield a first-divergence report.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --diff-smoke | tee "$TRACE_DIR/diffsmoke.out"
+grep "no divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
+grep "first divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
+
 # Scale-bench smoke: the quick suite must run all three scheduling
 # variants (heap, wheel, wheel+batching) to identical outcomes and
 # write a well-formed BENCH_scale.json (schema key, non-zero events/sec
 # — the binary itself asserts positivity and outcome identity).
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
 test -s "$TRACE_DIR/bench/BENCH_scale.json"
-grep '"schema": "tfc-bench-scale/v2"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v3"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_nobatch_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+
+# Tracing-overhead smoke: flow-sampled tracing on the leaf-spine run
+# must stay within 10% of the untraced events/sec (ratio <= 1.10).
+OVERHEAD="$(grep -m1 '"trace_overhead"' "$TRACE_DIR/bench/BENCH_scale.json" | sed 's/[^0-9.]*//g')"
+awk -v o="$OVERHEAD" 'BEGIN { exit !(o > 0 && o <= 1.10) }' \
+  || { echo "verify: trace overhead $OVERHEAD exceeds 1.10" >&2; exit 1; }
 
 echo "verify: OK"

@@ -168,6 +168,7 @@ fn tfc_reclaims_stalled_flow_tokens_within_two_slots() {
                     sample_one_in: 1,
                     tfc_gauges: true,
                     profile: false,
+                    trace: telemetry::TraceConfig::Off,
                     export: None,
                 },
                 ..Default::default()

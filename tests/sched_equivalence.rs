@@ -5,10 +5,14 @@
 //! Two deterministic scenarios — a figure-style incast and a chaos
 //! fault timeline on a leaf-spine — run once per variant, exporting the
 //! full artifact bundle (manifest, counters, events, flows, TFC slot
-//! gauges). Every exported file must be byte-identical across all three
-//! variants: the wheel is a pure data-structure substitution, and batch
-//! coalescing only changes how the dispatch loop walks the already-
-//! determined `(time, seq)` order, never the order itself.
+//! gauges, lifecycle-span sketches). Every exported file except the
+//! manifest must be byte-identical across all three variants: the wheel
+//! is a pure data-structure substitution, and batch coalescing only
+//! changes how the dispatch loop walks the already-determined
+//! `(time, seq)` order, never the order itself. The manifest is the one
+//! artifact that *should* differ — it records which backend produced
+//! the run — so it is compared semantically: backend fields must match
+//! the variant, everything else must be identical.
 //!
 //! Kept as a single `#[test]` because all halves set
 //! `TFC_RESULTS_DIR`; Rust runs tests in threads and the environment is
@@ -55,13 +59,16 @@ const VARIANTS: [Variant; 3] = [
 ];
 
 /// Full-fidelity telemetry, minus the wall-clock profile (which writes
-/// non-deterministic nanosecond timings into `counters.json`).
+/// non-deterministic nanosecond timings into `counters.json`). Span
+/// tracing is on so `spans.json` joins the byte-compare: the lifecycle
+/// sketches must also be backend-independent.
 fn telemetry(run: &str) -> TelemetryConfig {
     TelemetryConfig {
         events: LogMode::Full,
         sample_one_in: 1,
         tfc_gauges: true,
         profile: false,
+        trace: telemetry::TraceConfig::Full,
         export: Some(run.to_string()),
     }
 }
@@ -139,12 +146,57 @@ fn read(dir: &Path, run: &str, file: &str) -> Vec<u8> {
 }
 
 const ARTIFACTS: [&str; 5] = [
-    "manifest.json",
     "counters.json",
     "events.json",
     "flows.json",
     "tfc_slots.csv",
+    "spans.json",
 ];
+
+/// Manifests differ across variants exactly in the backend fields; the
+/// rest of the document must match the reference byte-for-byte.
+fn check_manifest(dir: &Path, run: &str, v: Variant, reference: &telemetry::json::Value) {
+    let text = String::from_utf8(read(dir, run, "manifest.json")).unwrap();
+    let mut doc = telemetry::json::parse(&text).unwrap_or_else(|e| panic!("{run} manifest: {e}"));
+    let sim = doc.get("sim").unwrap_or_else(|| panic!("{run} manifest lacks sim metadata"));
+    assert_eq!(
+        sim.get("scheduler").and_then(|s| s.as_str()),
+        Some(format!("{:?}", v.kind).as_str()),
+        "{run} manifest records the wrong scheduler for {}",
+        v.name
+    );
+    assert_eq!(
+        sim.get("coalesce").and_then(|b| b.as_bool()),
+        Some(v.coalesce),
+        "{run} manifest records the wrong coalesce flag for {}",
+        v.name
+    );
+    assert_eq!(
+        sim.get("trace").and_then(|s| s.as_str()),
+        Some("full"),
+        "{run} manifest records the wrong trace mode for {}",
+        v.name
+    );
+    if let telemetry::json::Value::Object(m) = &mut doc {
+        m.remove("sim");
+    }
+    assert_eq!(
+        doc.pretty(),
+        reference.pretty(),
+        "{run} manifest differs beyond backend fields for {}",
+        v.name
+    );
+}
+
+/// The reference manifest with the variant-specific fields removed.
+fn manifest_sans_sim(dir: &Path, run: &str) -> telemetry::json::Value {
+    let text = String::from_utf8(read(dir, run, "manifest.json")).unwrap();
+    let mut doc = telemetry::json::parse(&text).unwrap();
+    if let telemetry::json::Value::Object(m) = &mut doc {
+        m.remove("sim");
+    }
+    doc
+}
 
 #[test]
 fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
@@ -173,6 +225,10 @@ fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
                     VARIANTS[0].name, v.name
                 );
             }
+        }
+        let ref_manifest = manifest_sans_sim(reference, run);
+        for (&v, dir) in VARIANTS.iter().zip(&dirs) {
+            check_manifest(dir, run, v, &ref_manifest);
         }
     }
     std::fs::remove_dir_all(&base).ok();
