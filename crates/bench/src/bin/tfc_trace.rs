@@ -4,6 +4,9 @@
 //! tfc-trace <results/run-dir>    summarize an exported run
 //! tfc-trace diff <runA> <runB>   compare two runs' artifacts and
 //!                                report the first divergence
+//! tfc-trace --flows <run-dir>    per-class FCT / slowdown quantile
+//!                                tables from the retired-flow sketches
+//!                                of a streaming run's flows.json
 //! tfc-trace --smoke              run a small full-telemetry incast,
 //!                                export it, then summarize the artifact
 //! tfc-trace --chaos-smoke        run the chaos smoke pair (link flap +
@@ -11,6 +14,8 @@
 //!                                both artifact bundles
 //! tfc-trace --diff-smoke         differ self-test: two same-seed runs
 //!                                must match, a perturbed seed must not
+//! tfc-trace --flows-smoke        streaming self-test: run a small
+//!                                retire-enabled mix, then render it
 //! tfc-trace --help               this text
 //! ```
 //!
@@ -40,7 +45,8 @@ fn main() -> ExitCode {
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: tfc-trace <results/run-dir> | diff <runA> <runB> \
-                 | --smoke | --chaos-smoke | --diff-smoke"
+                 | --flows <run-dir> | --smoke | --chaos-smoke | --diff-smoke \
+                 | --flows-smoke"
             );
             if args.is_empty() {
                 ExitCode::FAILURE
@@ -72,6 +78,26 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("tfc-trace: diff smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--flows") => {
+            let Some(dir) = args.get(1) else {
+                eprintln!("usage: tfc-trace --flows <results/run-dir>");
+                return ExitCode::from(2);
+            };
+            match try_flows(Path::new(dir)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("tfc-trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--flows-smoke") => match try_flows_smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("tfc-trace: flows smoke failed: {e}");
                 ExitCode::FAILURE
             }
         },
@@ -256,11 +282,24 @@ fn try_summarize(dir: &Path) -> Result<(), String> {
         println!("  max    {:.0} B", depths.max().unwrap_or(0.0));
     }
 
-    // Per-flow timelines from the ground-truth summaries.
-    let fl = flows.as_array().ok_or("flows.json: not an array")?;
+    // Per-flow timelines from the ground-truth summaries. A streaming
+    // run's flows.json (`tfc-flows/v2`) instead carries the retired
+    // per-class sketches plus only the flows still live at shutdown.
+    let retired = telemetry::export::retired_from_json(&flows).ok();
+    let fl: &[Value] = match (&flows, &retired) {
+        (Value::Object(m), _) => m
+            .get("live")
+            .and_then(Value::as_array)
+            .ok_or("flows.json: v2 object without `live` array")?,
+        _ => flows.as_array().ok_or("flows.json: not an array")?,
+    };
+    if let Some(r) = &retired {
+        retired_table(r);
+    }
     let delivered: i64 = fl.iter().map(|f| n(f, "delivered")).sum();
     println!(
-        "\nflows: {}   delivered {} B   drops {drops}   retransmits {retransmits}",
+        "\nflows{}: {}   delivered {} B   drops {drops}   retransmits {retransmits}",
+        if retired.is_some() { " (live at shutdown)" } else { "" },
         fl.len(),
         delivered,
     );
@@ -311,6 +350,76 @@ fn try_summarize(dir: &Path) -> Result<(), String> {
 
     waterfall(dir)?;
     fault_summary(recs, &slots, &s, &n);
+    Ok(())
+}
+
+/// Renders the retired-flow class table of a streaming run: per-class
+/// FCT, bytes, and slowdown quantiles straight off the exported
+/// sketches, plus the slab high-water marks (the resident-memory
+/// proxy the memory-bound claim rests on).
+fn retired_table(r: &telemetry::RetiredFlows) {
+    println!(
+        "\nretired flows: {} total  (sketch α {:.3}, flow slab {} slots, peak {} live)",
+        r.total, r.alpha, r.slab_capacity, r.slab_peak
+    );
+    println!(
+        "  {:<16} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "class", "count", "fct p50µs", "fct p99µs", "fct p999µs", "bytes p50", "rtx p99", "sd p50", "sd p99"
+    );
+    for c in &r.classes {
+        if c.count == 0 {
+            continue;
+        }
+        let q = |s: &metrics::QuantileSketch, q: f64| s.quantile(q).unwrap_or(0.0);
+        let sd = |p: f64| q(&c.slowdown_milli, p) / simnet::retire::SLOWDOWN_SCALE;
+        println!(
+            "  {:<16} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>10.0} {:>8.0} {:>8.2} {:>8.2}",
+            c.name,
+            c.count,
+            q(&c.fct_ns, 0.5) / 1e3,
+            q(&c.fct_ns, 0.99) / 1e3,
+            q(&c.fct_ns, 0.999) / 1e3,
+            q(&c.bytes, 0.5),
+            q(&c.retransmits, 0.99),
+            sd(0.5),
+            sd(0.99),
+        );
+    }
+}
+
+/// `--flows <dir>`: the retired-class table alone, for streaming runs.
+fn try_flows(dir: &Path) -> Result<(), String> {
+    let flows = load_json(dir, "flows.json")?;
+    let retired = telemetry::export::retired_from_json(&flows)
+        .map_err(|e| format!("flows.json: {e} (not a streaming run?)"))?;
+    println!("run dir  : {}", dir.display());
+    retired_table(&retired);
+    Ok(())
+}
+
+/// `--flows-smoke`: run a small retire-enabled streaming mix, render
+/// its table, and check the artifact round-trips through the reader.
+fn try_flows_smoke() -> Result<(), String> {
+    use experiments::million::MillionConfig;
+
+    let mut cfg = MillionConfig::oracle();
+    cfg.target_flows = 2_000;
+    cfg.keep_exact = false;
+    cfg.telemetry = MillionConfig::streaming_telemetry("smoke-flows");
+    println!("running flows smoke (2000 streaming flows, retirement on)...");
+    let stats = experiments::million::run(&cfg);
+    let dir = telemetry::export::results_dir().join("smoke-flows");
+    try_flows(&dir)?;
+    let retired = telemetry::export::retired_from_json(&load_json(&dir, "flows.json")?)?;
+    if retired.total != stats.retired {
+        return Err(format!(
+            "exported retired count {} != simulator's {}",
+            retired.total, stats.retired
+        ));
+    }
+    if retired.classes.iter().all(|c| c.count == 0) {
+        return Err("no class retired any flow".into());
+    }
     Ok(())
 }
 
@@ -426,7 +535,7 @@ fn diff_file(file: &str, ta: &str, tb: &str) -> Result<Option<String>, String> {
             first_key_diff(&strip(&va), &strip(&vb))
         }
         "events.json" => first_record_diff("record", &va, &vb)?,
-        "flows.json" => first_record_diff("flow", &va, &vb)?,
+        "flows.json" => flows_diff(&va, &vb)?,
         "spans.json" => spans_diff(&va, &vb)?,
         _ => first_key_diff(&va, &vb),
     })
@@ -538,6 +647,47 @@ fn line_diff(ta: &str, tb: &str) -> Option<String> {
     }
     let (na, nb) = (ta.lines().count(), tb.lines().count());
     (na != nb).then(|| format!("{na} vs {nb} lines (common prefix identical)"))
+}
+
+/// Flow-table comparison, both schema forms. Legacy runs export a bare
+/// array of per-flow summaries; streaming runs export the `tfc-flows/v2`
+/// object (retired-class sketches + live flows). Mixed forms are
+/// themselves a divergence — a retirement-config change between runs.
+fn flows_diff(a: &Value, b: &Value) -> Result<Option<String>, String> {
+    match (a, b) {
+        (Value::Array(_), Value::Array(_)) => first_record_diff("flow", a, b),
+        (Value::Object(ma), Value::Object(mb)) => {
+            let arr = |m: &json::Map, k: &str| {
+                m.get(k).and_then(Value::as_array).unwrap_or(&[]).to_vec()
+            };
+            if let Some(d) = first_record_diff(
+                "retired class",
+                &Value::Array(arr(ma, "classes")),
+                &Value::Array(arr(mb, "classes")),
+            )? {
+                return Ok(Some(d));
+            }
+            if let Some(d) = first_record_diff(
+                "live flow",
+                &Value::Array(arr(ma, "live")),
+                &Value::Array(arr(mb, "live")),
+            )? {
+                return Ok(Some(d));
+            }
+            let strip = |v: &Value| {
+                let mut v = v.clone();
+                if let Value::Object(m) = &mut v {
+                    m.remove("classes");
+                    m.remove("live");
+                }
+                v
+            };
+            Ok(first_key_diff(&strip(a), &strip(b)))
+        }
+        _ => Ok(Some(
+            "one run exports the legacy flow array, the other the tfc-flows/v2 object".into(),
+        )),
+    }
 }
 
 /// Span-sketch comparison: names the first (stage, hop) whose sketch
@@ -673,6 +823,26 @@ mod tests {
         let c = r#"{"run": "y", "git": "bbb", "seed": 8}"#;
         let d = diff_file("manifest.json", a, c).unwrap().unwrap();
         assert!(d.contains("`seed`"), "{d}");
+    }
+
+    #[test]
+    fn flows_diff_handles_both_schema_forms() {
+        let legacy_a = r#"[{"flow": 0, "delivered": 10}]"#;
+        let legacy_b = r#"[{"flow": 0, "delivered": 20}]"#;
+        assert_eq!(diff_file("flows.json", legacy_a, legacy_a).unwrap(), None);
+        let d = diff_file("flows.json", legacy_a, legacy_b).unwrap().unwrap();
+        assert!(d.contains("flow 0"), "{d}");
+
+        let v2_a = r#"{"schema": "tfc-flows/v2", "retired_total": 5,
+                       "classes": [{"class": 0, "count": 5}], "live": []}"#;
+        let v2_b = r#"{"schema": "tfc-flows/v2", "retired_total": 6,
+                       "classes": [{"class": 0, "count": 6}], "live": []}"#;
+        assert_eq!(diff_file("flows.json", v2_a, v2_a).unwrap(), None);
+        let d = diff_file("flows.json", v2_a, v2_b).unwrap().unwrap();
+        assert!(d.contains("retired class 0"), "{d}");
+
+        let d = diff_file("flows.json", legacy_a, v2_a).unwrap().unwrap();
+        assert!(d.contains("legacy"), "{d}");
     }
 
     #[test]

@@ -63,12 +63,20 @@ pub fn maybe_export(
         .iter()
         .map(|(name, ts)| (name, ts.points()))
         .collect();
+    // Streaming runs export their per-class retired sketches alongside
+    // the (few) flows still live at shutdown; the slab high-water marks
+    // ride along as the resident-memory proxy.
+    let retired = core.retirer().map(|r| {
+        let (_, peak, capacity) = core.flow_slab_stats();
+        r.to_export(capacity as u64, peak as u64)
+    });
     match export_run(
         &manifest,
         &tel.log,
         &tel.loop_stats,
         &tel.slots,
         &flow_summaries(core),
+        retired.as_ref(),
         &tel.spans,
         &series,
     ) {

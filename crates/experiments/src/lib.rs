@@ -5,6 +5,7 @@ pub mod benchmark;
 pub mod faults;
 pub mod goodput;
 pub mod incast;
+pub mod million;
 pub mod ne;
 pub mod proto;
 pub mod rho;

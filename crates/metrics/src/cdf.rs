@@ -115,6 +115,12 @@ impl PiecewiseCdf {
         Self { knots }
     }
 
+    /// The `(value, cumulative_probability)` knots the CDF was built
+    /// from (goodness-of-fit tests bin samples against these).
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
     /// Inverse CDF: maps a uniform `u` in `[0, 1)` to a value.
     pub fn inverse(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);

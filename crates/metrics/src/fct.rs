@@ -1,6 +1,7 @@
 //! Flow-completion-time bookkeeping.
 
 use crate::percentile::Sampler;
+use crate::sketch::QuantileSketch;
 
 /// Flow size bins used by the paper's background-flow FCT figures
 /// (Fig. 13b and Fig. 16b).
@@ -96,6 +97,31 @@ pub struct FctSummary {
     pub p999_us: f64,
     /// 99.99th percentile (µs).
     pub p9999_us: f64,
+}
+
+impl FctSummary {
+    /// Builds the summary from a streaming sketch of FCT samples in
+    /// *nanoseconds* (the unit the retirement pipeline records), or
+    /// `None` if the sketch is empty.
+    ///
+    /// Experiments that retire flows into sketches keep their output
+    /// schema: the percentiles come from the sketch (within its
+    /// relative-error bound `alpha`) instead of the exact record
+    /// vector, but the summary shape is identical.
+    pub fn from_sketch(s: &QuantileSketch) -> Option<FctSummary> {
+        if s.is_empty() {
+            return None;
+        }
+        let us = |q: f64| s.quantile(q).expect("non-empty sketch") / 1_000.0;
+        Some(FctSummary {
+            count: s.count() as usize,
+            mean_us: s.mean().expect("non-empty sketch") / 1_000.0,
+            p95_us: us(0.95),
+            p99_us: us(0.99),
+            p999_us: us(0.999),
+            p9999_us: us(0.9999),
+        })
+    }
 }
 
 /// Collects [`FlowRecord`]s and summarises them the way the paper's FCT
@@ -230,6 +256,35 @@ mod tests {
         assert_eq!(bins[0].0, SizeBin::Under1K);
         assert_eq!(bins[1].0, SizeBin::K1To10);
         assert_eq!(bins[0].1.count, 1);
+    }
+
+    /// `from_sketch` must agree with the exact collector within the
+    /// sketch's relative-error bound on every reported percentile.
+    #[test]
+    fn from_sketch_matches_exact_summary_within_alpha() {
+        let alpha = 0.01;
+        let mut exact = FctCollector::new();
+        let mut sketch = QuantileSketch::new(alpha);
+        // Heavy-tailed FCTs: i^2 microseconds over 10k flows.
+        for i in 1..=10_000u64 {
+            let fct_ns = i * i * 1_000;
+            exact.record(FlowRecord {
+                bytes: 1_000,
+                start_ns: 0,
+                end_ns: fct_ns,
+            });
+            sketch.record(fct_ns as f64);
+        }
+        let a = exact.summary().unwrap();
+        let b = FctSummary::from_sketch(&sketch).unwrap();
+        assert_eq!(a.count, b.count);
+        let close = |x: f64, y: f64| (x - y).abs() / y <= 2.0 * alpha;
+        assert!(close(b.mean_us, a.mean_us), "mean {} vs {}", b.mean_us, a.mean_us);
+        assert!(close(b.p95_us, a.p95_us), "p95 {} vs {}", b.p95_us, a.p95_us);
+        assert!(close(b.p99_us, a.p99_us), "p99 {} vs {}", b.p99_us, a.p99_us);
+        assert!(close(b.p999_us, a.p999_us), "p999 {} vs {}", b.p999_us, a.p999_us);
+        assert!(close(b.p9999_us, a.p9999_us), "p9999 {} vs {}", b.p9999_us, a.p9999_us);
+        assert!(FctSummary::from_sketch(&QuantileSketch::new(alpha)).is_none());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Dense per-flow tables indexed by [`FlowId`].
 //!
-//! Flow ids are allocated sequentially from zero and never recycled, so
-//! every per-flow table in the hot path can be a slab vector indexed by
-//! `FlowId` instead of an ordered map: O(1) lookup, no pointer chasing,
-//! and iteration stays in id order (which the artifact exporters rely
-//! on).
+//! Flow ids are allocated sequentially from zero, so every per-flow
+//! table in the hot path can be a slab vector indexed by `FlowId`
+//! instead of an ordered map: O(1) lookup, no pointer chasing, and
+//! iteration stays in id order (which the artifact exporters rely on).
+//! When flow retirement is enabled ([`crate::retire`]) completed ids
+//! are recycled, so a slab's length is bounded by peak concurrency
+//! while the per-slot generations keep stale references detectable.
 
 use crate::packet::FlowId;
 
@@ -20,6 +22,11 @@ pub struct FlowMap<T> {
     /// remembers — dead state is never resurrected by id reuse.
     gens: Vec<u32>,
     len: usize,
+    /// High-water mark of `len`: the peak number of simultaneously live
+    /// entries this table ever held. With id recycling the slab length
+    /// is bounded by peak concurrency, not total churn, and this is the
+    /// number that proves it.
+    peak_len: usize,
 }
 
 impl<T> Default for FlowMap<T> {
@@ -35,7 +42,20 @@ impl<T> FlowMap<T> {
             slots: Vec::new(),
             gens: Vec::new(),
             len: 0,
+            peak_len: 0,
         }
+    }
+
+    /// Number of slots the slab has ever materialised (live + holes).
+    /// Under id recycling this is the resident-memory proxy: it tracks
+    /// peak concurrency, not cumulative flow count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Peak number of simultaneously live entries (see `capacity`).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Number of entries.
@@ -74,6 +94,7 @@ impl<T> FlowMap<T> {
         let old = self.slots[idx].replace(value);
         if old.is_none() {
             self.len += 1;
+            self.peak_len = self.peak_len.max(self.len);
         }
         old
     }
@@ -176,6 +197,40 @@ mod tests {
         m.insert(FlowId(9), 9);
         assert_eq!(m.generation(FlowId(1)), 1);
         assert_eq!(m.generation(FlowId(9)), 0);
+    }
+
+    /// Churn stress for the retirement path: a million insert/remove
+    /// cycles funnelled through a 64-slot id window. Every cycle a
+    /// "stale actor" captures the `(id, generation)` pair of the tenant
+    /// it is about to tear down and verifies the bump makes the captured
+    /// pair unmatchable afterwards; at the end the slab must have grown
+    /// to peak concurrency and not one slot further.
+    #[test]
+    fn million_cycle_churn_stays_bounded_with_detectable_stale_ids() {
+        const CONCURRENCY: u64 = 64;
+        const CYCLES: u64 = 1_000_000;
+        let mut m: FlowMap<u64> = FlowMap::new();
+        let mut removes = vec![0u32; CONCURRENCY as usize];
+        for i in 0..CYCLES {
+            let id = FlowId(i % CONCURRENCY);
+            if i >= CONCURRENCY {
+                let stale = m.generation(id);
+                assert_eq!(m.remove(id), Some(i - CONCURRENCY), "tenant intact at {i}");
+                removes[id.0 as usize] += 1;
+                assert_ne!(m.generation(id), stale, "stale id must be detectable at {i}");
+            }
+            assert_eq!(m.insert(id, i), None, "slot must be empty at {i}");
+        }
+        for (slot, &r) in removes.iter().enumerate() {
+            assert_eq!(m.generation(FlowId(slot as u64)), r, "one bump per occupancy");
+        }
+        assert_eq!(m.len(), CONCURRENCY as usize);
+        assert_eq!(m.peak_len(), CONCURRENCY as usize);
+        assert_eq!(
+            m.capacity(),
+            CONCURRENCY as usize,
+            "slab must be bounded by peak concurrency, not total churn"
+        );
     }
 
     #[test]

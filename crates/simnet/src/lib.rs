@@ -44,6 +44,7 @@ pub mod node;
 pub mod packet;
 pub mod policy;
 pub mod queue;
+pub mod retire;
 pub mod sched;
 pub mod sim;
 pub mod topology;
@@ -57,6 +58,7 @@ pub use fault::FaultAction;
 pub use flowtable::FlowMap;
 pub use node::PortStats;
 pub use packet::{Flags, FlowId, NodeId, Packet, HEADER_BYTES, MIN_FRAME, MSS, WINDOW_INIT};
+pub use retire::{FlowRetirer, RetireConfig};
 pub use sched::{SchedulerKind, TimerHandle};
 pub use sim::{FlowState, SimApi, SimConfig, SimCore, Simulator};
 pub use topology::{Network, TopologyBuilder};

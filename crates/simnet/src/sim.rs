@@ -22,8 +22,10 @@ use crate::arena::{PacketArena, PacketId};
 use crate::endpoint::{Effects, FlowSpec, Note, ProtocolStack};
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultAction;
+use crate::flowtable::FlowMap;
 use crate::node::{Node, PortStats};
 use crate::packet::{FlowId, NodeId};
+use crate::retire::{FlowRetirer, RetireConfig};
 use crate::sched::{SchedulerKind, TimerHandle};
 use crate::topology::Network;
 use crate::trace::{QueueSampler, TraceCenter};
@@ -61,6 +63,11 @@ pub struct SimConfig {
     /// dispatch, kept for equivalence tests and benchmarks — both modes
     /// produce byte-identical runs (see [`crate::handlers`]).
     pub coalesce: bool,
+    /// Bounded-memory flow retirement (off by default): completed flows
+    /// fold into per-class quantile sketches and free all per-flow
+    /// state, with ids recycled after a quarantine. Required for the
+    /// streaming million-flow workloads; see [`crate::retire`].
+    pub retire: Option<RetireConfig>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +80,7 @@ impl Default for SimConfig {
             telemetry: TelemetryConfig::default(),
             scheduler: SchedulerKind::default(),
             coalesce: true,
+            retire: None,
         }
     }
 }
@@ -130,11 +138,18 @@ pub struct FlowState {
     pub watch_rtt: bool,
     /// Sender RTT samples `(time, rtt)` in ns, if watched.
     pub rtt_samples: Vec<(u64, u64)>,
+    /// Workload class tag (0 by default; see
+    /// [`SimCore::set_flow_class`]). Keys the per-class retirement
+    /// sketches when flow retirement is on.
+    pub class: u8,
 }
 
 pub(crate) enum AppCall {
     Timer(u64),
     Flow(FlowEvent),
+    /// Deferred flow retirement: queued behind the flow's `Completed`
+    /// event so the application still sees live state in its callback.
+    Retire(FlowId),
 }
 
 /// Everything except the application: the part of the simulator that
@@ -149,9 +164,20 @@ pub struct SimCore {
     pub(crate) hosts: Vec<NodeId>,
     pub(crate) switches: Vec<NodeId>,
     pub(crate) stack: Box<dyn ProtocolStack>,
-    /// Flow states in a dense slab: ids are allocated sequentially and
-    /// never recycled, so `flows[id]` is the flow's state.
-    pub(crate) flows: Vec<FlowState>,
+    /// Flow states in a dense slab. Ids are allocated sequentially;
+    /// without retirement they are never recycled and `flows` only
+    /// grows, with retirement ([`SimConfig::retire`]) completed flows
+    /// leave the slab and their ids return after a quarantine, so the
+    /// slab length is bounded by peak concurrency.
+    pub(crate) flows: FlowMap<FlowState>,
+    /// Next never-used flow id (ids below it are live, retired, or
+    /// quarantined).
+    pub(crate) next_flow_id: u64,
+    /// Retired ids awaiting reuse, oldest first, with their retirement
+    /// times; an id leaves quarantine `retire.reuse_after` later.
+    pub(crate) free_ids: VecDeque<(Time, FlowId)>,
+    /// The retirement pipeline, when [`SimConfig::retire`] is set.
+    pub(crate) retirer: Option<FlowRetirer>,
     /// Pending cancellable host-timer handles per flow, as
     /// `(endpoint token, handle)` pairs; entries leave on fire/cancel.
     pub(crate) host_timers: Vec<Vec<(u64, TimerHandle)>>,
@@ -200,7 +226,7 @@ impl SimCore {
     /// Panics if `src`/`dst` are not distinct hosts.
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
         assert!(spec.src != spec.dst, "flow endpoints must differ");
-        let flow = FlowId(self.flows.len() as u64);
+        let flow = self.alloc_flow_id();
         let sender = self.stack.new_sender(flow, &spec);
         let receiver = self.stack.new_receiver(flow, &spec);
         let (src, dst) = (spec.src, spec.dst);
@@ -215,21 +241,29 @@ impl SimCore {
                 },
             );
         }
-        self.flows.push(FlowState {
-            spec,
-            started_at: self.now,
-            established_at: None,
-            receiver_done_at: None,
-            sender_done_at: None,
-            delivered: 0,
-            timeouts: 0,
-            retransmits: 0,
-            meter: None,
-            watch_delivery: false,
-            watch_rtt: false,
-            rtt_samples: Vec::new(),
-        });
-        self.host_timers.push(Vec::new());
+        let prev = self.flows.insert(
+            flow,
+            FlowState {
+                spec,
+                started_at: self.now,
+                established_at: None,
+                receiver_done_at: None,
+                sender_done_at: None,
+                delivered: 0,
+                timeouts: 0,
+                retransmits: 0,
+                meter: None,
+                watch_delivery: false,
+                watch_rtt: false,
+                rtt_samples: Vec::new(),
+                class: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "allocated id {flow:?} was occupied");
+        if self.host_timers.len() <= flow.0 as usize {
+            self.host_timers.push(Vec::new());
+        }
+        debug_assert!(self.host_timers[flow.0 as usize].is_empty());
         let Node::Host(h) = &mut self.nodes[dst.0 as usize] else {
             panic!("flow dst {dst:?} is not a host");
         };
@@ -257,7 +291,7 @@ impl SimCore {
     ///
     /// Panics if the flow or its sender does not exist.
     pub fn push_data(&mut self, flow: FlowId, bytes: u64) {
-        let src = self.flows[flow.0 as usize].spec.src;
+        let src = self.flows.get(flow).expect("flow exists").spec.src;
         let now = self.now;
         let mut fx = Effects::new();
         let Node::Host(h) = &mut self.nodes[src.0 as usize] else {
@@ -276,7 +310,7 @@ impl SimCore {
     /// started, or already torn down) — closing twice is safe, so
     /// workloads need not track liveness across faults.
     pub fn close_flow(&mut self, flow: FlowId) {
-        let Some(state) = self.flows.get(flow.0 as usize) else {
+        let Some(state) = self.flows.get(flow) else {
             return;
         };
         let src = state.spec.src;
@@ -319,16 +353,25 @@ impl SimCore {
         self.events.schedule(at, Event::AppTimer { token });
     }
 
+    /// Tags a flow with a workload class (defaults to 0). Classes key
+    /// the per-class retirement sketches; the tag is a no-op for flows
+    /// that are already gone.
+    pub fn set_flow_class(&mut self, flow: FlowId, class: u8) {
+        if let Some(state) = self.flows.get_mut(flow) {
+            state.class = class;
+        }
+    }
+
     /// Attaches a goodput meter (window `window`) to a flow.
     pub fn meter_flow(&mut self, flow: FlowId, window: Dur) {
-        let state = self.flows.get_mut(flow.0 as usize).expect("flow exists");
+        let state = self.flows.get_mut(flow).expect("flow exists");
         state.meter = Some(RateMeter::new(format!("flow{}", flow.0), window.as_nanos()));
     }
 
     /// Requests `Delivered` events for a flow.
     pub fn watch_delivery(&mut self, flow: FlowId) {
         self.flows
-            .get_mut(flow.0 as usize)
+            .get_mut(flow)
             .expect("flow exists")
             .watch_delivery = true;
     }
@@ -336,7 +379,7 @@ impl SimCore {
     /// Requests sender RTT sample recording for a flow.
     pub fn watch_rtt(&mut self, flow: FlowId) {
         self.flows
-            .get_mut(flow.0 as usize)
+            .get_mut(flow)
             .expect("flow exists")
             .watch_rtt = true;
     }
@@ -360,21 +403,24 @@ impl SimCore {
     }
 
     /// Immutable flow state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow never existed or was retired (see
+    /// [`SimConfig::retire`]).
     pub fn flow(&self, flow: FlowId) -> &FlowState {
-        &self.flows[flow.0 as usize]
+        self.flows.get(flow).expect("flow exists (not retired)")
     }
 
-    /// Whether the flow id exists.
+    /// Whether the flow currently has live state (retired flows do not).
     pub fn has_flow(&self, flow: FlowId) -> bool {
-        (flow.0 as usize) < self.flows.len()
+        self.flows.contains(flow)
     }
 
-    /// Iterates all flows in id order.
+    /// Iterates all live flows in id order. Under retirement, completed
+    /// flows are absent: their statistics live in [`SimCore::retirer`].
     pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowState)> {
-        self.flows
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (FlowId(i as u64), v))
+        self.flows.iter()
     }
 
     /// The collected traces.
@@ -398,9 +444,23 @@ impl SimCore {
         &self.cfg
     }
 
-    /// Completed-flow records.
+    /// Completed-flow records. Empty when flow retirement is on — the
+    /// per-class sketches in [`SimCore::retirer`] replace the unbounded
+    /// record vector.
     pub fn fct(&self) -> &FctCollector {
         &self.fct
+    }
+
+    /// The flow-retirement pipeline, when enabled.
+    pub fn retirer(&self) -> Option<&FlowRetirer> {
+        self.retirer.as_ref()
+    }
+
+    /// Flow-slab occupancy diagnostics: `(live, peak_live, capacity)`.
+    /// With retirement on, `capacity` is bounded by peak concurrency —
+    /// the resident-memory half of the million-flow claim.
+    pub fn flow_slab_stats(&self) -> (usize, usize, usize) {
+        (self.flows.len(), self.flows.peak_len(), self.flows.capacity())
     }
 
     /// Host ids in creation order.
@@ -485,7 +545,7 @@ impl SimCore {
 
     /// Current congestion window of a flow's sender, if it exists.
     pub fn sender_cwnd(&self, flow: FlowId) -> Option<u64> {
-        let src = self.flows.get(flow.0 as usize)?.spec.src;
+        let src = self.flows.get(flow)?.spec.src;
         let Node::Host(h) = &self.nodes[src.0 as usize] else {
             return None;
         };
@@ -495,6 +555,47 @@ impl SimCore {
     // ------------------------------------------------------------------
     // Internal machinery.
     // ------------------------------------------------------------------
+
+    /// Allocates a flow id: a quarantine-expired retired id when
+    /// retirement is on (oldest first, so reuse order is deterministic),
+    /// otherwise the next fresh id.
+    fn alloc_flow_id(&mut self) -> FlowId {
+        if let Some(cfg) = &self.cfg.retire {
+            if let Some(&(retired_at, id)) = self.free_ids.front() {
+                if retired_at + cfg.reuse_after <= self.now {
+                    self.free_ids.pop_front();
+                    return id;
+                }
+            }
+        }
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        id
+    }
+
+    /// Tears down a finished flow: folds its scalars into the retirer's
+    /// per-class sketches, cancels its pending timers, removes both
+    /// endpoints (bumping the slot generations), frees the slab entry,
+    /// and quarantines the id. Packets of the dead flow still in flight
+    /// take the existing stale-packet path at the hosts.
+    fn retire_flow(&mut self, flow: FlowId) {
+        let Some(state) = self.flows.remove(flow) else {
+            return;
+        };
+        let retirer = self.retirer.as_mut().expect("retire_flow requires retirer");
+        retirer.retire(&state);
+        for (_, handle) in self.host_timers[flow.0 as usize].drain(..) {
+            self.events.cancel(handle);
+        }
+        let (src, dst) = (state.spec.src, state.spec.dst);
+        if let Node::Host(h) = &mut self.nodes[src.0 as usize] {
+            h.senders.remove(flow);
+        }
+        if let Node::Host(h) = &mut self.nodes[dst.0 as usize] {
+            h.receivers.remove(flow);
+        }
+        self.free_ids.push_back((self.now, flow));
+    }
 
     pub(crate) fn apply_host_fx(&mut self, host: NodeId, flow: FlowId, fx: Effects) {
         for mut pkt in fx.packets {
@@ -538,7 +639,8 @@ impl SimCore {
     pub(crate) fn handle_note(&mut self, flow: FlowId, note: Note) {
         let now = self.now;
         let tel_on = self.telemetry.log.enabled();
-        let Some(state) = self.flows.get_mut(flow.0 as usize) else {
+        let finishing = matches!(note, Note::ReceiverDone | Note::SenderDone);
+        let Some(state) = self.flows.get_mut(flow) else {
             return;
         };
         match note {
@@ -577,12 +679,16 @@ impl SimCore {
             Note::ReceiverDone => {
                 if state.receiver_done_at.is_none() {
                     state.receiver_done_at = Some(now);
-                    let bytes = state.spec.bytes.unwrap_or(state.delivered);
-                    self.fct.record(FlowRecord {
-                        bytes,
-                        start_ns: state.started_at.nanos(),
-                        end_ns: now.nanos(),
-                    });
+                    // Streaming runs keep FCTs in the retirer's bounded
+                    // sketches instead of this unbounded record vector.
+                    if self.retirer.is_none() {
+                        let bytes = state.spec.bytes.unwrap_or(state.delivered);
+                        self.fct.record(FlowRecord {
+                            bytes,
+                            start_ns: state.started_at.nanos(),
+                            end_ns: now.nanos(),
+                        });
+                    }
                     self.pending_app
                         .push_back(AppCall::Flow(FlowEvent::Completed(flow)));
                 }
@@ -643,6 +749,20 @@ impl SimCore {
                 }
             }
         }
+        // Both sides done (receiver holds the stream, sender saw its
+        // FIN acked): under retirement the flow's state leaves the
+        // simulation. The teardown is queued behind the already-pending
+        // `Completed` app event so the application's callback still
+        // observes the flow; `retire_flow` ignores a second queuing.
+        if finishing
+            && self.retirer.is_some()
+            && self
+                .flows
+                .get(flow)
+                .is_some_and(|s| s.receiver_done_at.is_some() && s.sender_done_at.is_some())
+        {
+            self.pending_app.push_back(AppCall::Retire(flow));
+        }
     }
 }
 
@@ -652,6 +772,7 @@ impl<A: Application> Simulator<A> {
     pub fn new(net: Network, stack: Box<dyn ProtocolStack>, app: A, cfg: SimConfig) -> Self {
         let telemetry = Telemetry::new(&cfg.telemetry, cfg.seed, &Event::KIND_NAMES);
         let policy_timers = net.nodes.iter().map(|_| Vec::new()).collect();
+        let retirer = cfg.retire.clone().map(FlowRetirer::new);
         Self {
             core: SimCore {
                 now: Time::ZERO,
@@ -660,7 +781,10 @@ impl<A: Application> Simulator<A> {
                 hosts: net.hosts,
                 switches: net.switches,
                 stack,
-                flows: Vec::new(),
+                flows: FlowMap::new(),
+                next_flow_id: 0,
+                free_ids: VecDeque::new(),
+                retirer,
                 host_timers: Vec::new(),
                 policy_timers,
                 rng: StdRng::seed_from_u64(cfg.seed),
@@ -705,7 +829,7 @@ impl<A: Application> Simulator<A> {
         }
         // Flush goodput meters so trailing zero-windows are emitted.
         let now = self.core.now;
-        for state in self.core.flows.iter_mut() {
+        for (_, state) in self.core.flows.iter_mut() {
             if let Some(m) = &mut state.meter {
                 m.flush(now.nanos());
             }
@@ -720,6 +844,7 @@ impl<A: Application> Simulator<A> {
             match call {
                 AppCall::Timer(token) => self.app.on_timer(token, &mut api),
                 AppCall::Flow(ev) => self.app.on_flow_event(ev, &mut api),
+                AppCall::Retire(flow) => self.core.retire_flow(flow),
             }
         }
     }
@@ -796,9 +921,20 @@ impl<'a> SimApi<'a> {
         self.core.watch_rtt(flow)
     }
 
+    /// Tags a flow with a workload class; see
+    /// [`SimCore::set_flow_class`].
+    pub fn set_flow_class(&mut self, flow: FlowId, class: u8) {
+        self.core.set_flow_class(flow, class)
+    }
+
     /// Flow state (delivered bytes, timestamps, counters).
     pub fn flow(&self, flow: FlowId) -> &FlowState {
         self.core.flow(flow)
+    }
+
+    /// Whether the flow still has live state (false once retired).
+    pub fn has_flow(&self, flow: FlowId) -> bool {
+        self.core.has_flow(flow)
     }
 
     /// The seeded RNG.

@@ -24,6 +24,8 @@ use std::io;
 use std::path::PathBuf;
 use std::process::Command;
 
+use metrics::QuantileSketch;
+
 use crate::counters::{LoopStats, PortSlotSample};
 use crate::event::{EventLog, EventRecord, TraceEvent, EVENT_KIND_NAMES};
 use crate::json::{Map, Value};
@@ -293,8 +295,158 @@ pub fn record_json(r: &EventRecord) -> Value {
     Value::Object(m)
 }
 
-fn flows_json(flows: &[FlowSummary]) -> Value {
-    Value::Array(
+/// Per-class streaming statistics of retired flows, as exported into
+/// `flows.json` when the simulator ran with flow retirement on. The
+/// sketches are the *only* record of the retired flows — their dense
+/// state was freed mid-run — so the document carries everything needed
+/// to rebuild them ([`retired_from_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiredClass {
+    /// Class tag (index into the retire config's class list).
+    pub class: u8,
+    /// Class name.
+    pub name: String,
+    /// Flows retired into this class.
+    pub count: u64,
+    /// FCT sketch (nanoseconds).
+    pub fct_ns: QuantileSketch,
+    /// Transferred-bytes sketch.
+    pub bytes: QuantileSketch,
+    /// Per-flow retransmit-count sketch.
+    pub retransmits: QuantileSketch,
+    /// Slowdown sketch in thousandths (slowdown x 1000).
+    pub slowdown_milli: QuantileSketch,
+}
+
+/// The retired-flow section of a streaming run's `flows.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiredFlows {
+    /// Relative-error bound of all sketches.
+    pub alpha: f64,
+    /// Total flows retired.
+    pub total: u64,
+    /// Flow-slab slots materialised (peak-RSS proxy: bounded by peak
+    /// concurrency, not total flows).
+    pub slab_capacity: u64,
+    /// Peak simultaneously live flows.
+    pub slab_peak: u64,
+    /// Per-class statistics, indexed by class tag.
+    pub classes: Vec<RetiredClass>,
+}
+
+/// The JSON form of one quantile sketch: exact bucket contents plus
+/// convenience quantiles. Inverse of [`sketch_from_json`].
+pub fn sketch_json(s: &QuantileSketch) -> Value {
+    let q = |p: f64| Value::from(s.quantile(p).unwrap_or(0.0));
+    let buckets: Vec<Value> = s
+        .bucket_entries()
+        .into_iter()
+        .map(|(k, c)| Value::Array(vec![Value::from(i64::from(k)), Value::from(c)]))
+        .collect();
+    let mut m = Map::new();
+    m.insert("count".into(), s.count().into());
+    m.insert("zero".into(), s.zero_count().into());
+    m.insert("sum".into(), s.sum().into());
+    m.insert("min".into(), s.min().unwrap_or(0.0).into());
+    m.insert("max".into(), s.max().unwrap_or(0.0).into());
+    m.insert("p50".into(), q(0.50));
+    m.insert("p90".into(), q(0.90));
+    m.insert("p99".into(), q(0.99));
+    m.insert("p999".into(), q(0.999));
+    m.insert("buckets".into(), Value::Array(buckets));
+    Value::Object(m)
+}
+
+/// Rebuilds a sketch from its [`sketch_json`] form.
+pub fn sketch_from_json(v: &Value, alpha: f64) -> Result<QuantileSketch, String> {
+    let num = |k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("sketch missing numeric '{k}'"))
+    };
+    let entries: Vec<(i32, u64)> = v
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or("sketch missing 'buckets'")?
+        .iter()
+        .map(|pair| {
+            let p = pair.as_array().filter(|p| p.len() == 2).ok_or("bad bucket pair")?;
+            let k = p[0].as_i64().ok_or("bad bucket key")? as i32;
+            let c = p[1].as_i64().ok_or("bad bucket count")? as u64;
+            Ok::<(i32, u64), String>((k, c))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(QuantileSketch::from_parts(
+        alpha,
+        num("zero")? as u64,
+        &entries,
+        num("sum")?,
+        num("min")?,
+        num("max")?,
+    ))
+}
+
+fn retired_class_json(c: &RetiredClass) -> Value {
+    crate::json!({
+        "class": u64::from(c.class),
+        "name": c.name.as_str(),
+        "count": c.count,
+        "fct_ns": sketch_json(&c.fct_ns),
+        "bytes": sketch_json(&c.bytes),
+        "retransmits": sketch_json(&c.retransmits),
+        "slowdown_milli": sketch_json(&c.slowdown_milli),
+    })
+}
+
+/// Parses the retired-flow section back out of a `flows.json` document
+/// in the `tfc-flows/v2` object form (inverse of the exporter; used by
+/// `tfc-trace --flows`).
+pub fn retired_from_json(doc: &Value) -> Result<RetiredFlows, String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("tfc-flows/v2") => {}
+        other => return Err(format!("not a tfc-flows/v2 document (schema {other:?})")),
+    }
+    let num = |k: &str| -> Result<f64, String> {
+        doc.get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("flows.json missing numeric '{k}'"))
+    };
+    let alpha = num("alpha")?;
+    let classes = doc
+        .get("classes")
+        .and_then(Value::as_array)
+        .ok_or("flows.json missing 'classes'")?
+        .iter()
+        .map(|c| {
+            let sketch = |k: &str| {
+                sketch_from_json(c.get(k).ok_or_else(|| format!("class missing '{k}'"))?, alpha)
+            };
+            Ok::<RetiredClass, String>(RetiredClass {
+                class: c.get("class").and_then(Value::as_i64).ok_or("class missing tag")? as u8,
+                name: c
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("class missing name")?
+                    .to_string(),
+                count: c.get("count").and_then(Value::as_i64).ok_or("class missing count")? as u64,
+                fct_ns: sketch("fct_ns")?,
+                bytes: sketch("bytes")?,
+                retransmits: sketch("retransmits")?,
+                slowdown_milli: sketch("slowdown_milli")?,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(RetiredFlows {
+        alpha,
+        total: num("retired_total")? as u64,
+        slab_capacity: num("slab_capacity")? as u64,
+        slab_peak: num("slab_peak")? as u64,
+        classes,
+    })
+}
+
+fn flows_json(flows: &[FlowSummary], retired: Option<&RetiredFlows>) -> Value {
+    let live = Value::Array(
         flows
             .iter()
             .map(|f| {
@@ -313,7 +465,23 @@ fn flows_json(flows: &[FlowSummary]) -> Value {
                 })
             })
             .collect(),
-    )
+    );
+    // A run without retirement keeps the historical bare-array form, so
+    // existing artifact sets stay byte-identical. Retirement upgrades
+    // the document to an object: retired sketches plus the (few) flows
+    // still live at export time.
+    match retired {
+        None => live,
+        Some(r) => crate::json!({
+            "schema": "tfc-flows/v2",
+            "alpha": r.alpha,
+            "retired_total": r.total,
+            "slab_capacity": r.slab_capacity,
+            "slab_peak": r.slab_peak,
+            "classes": Value::Array(r.classes.iter().map(retired_class_json).collect()),
+            "live": live,
+        }),
+    }
 }
 
 /// Column header of `tfc_slots.csv`.
@@ -418,6 +586,7 @@ pub fn export_run(
     loop_stats: &LoopStats,
     slots: &[PortSlotSample],
     flows: &[FlowSummary],
+    retired: Option<&RetiredFlows>,
     spans: &SpanTracker,
     series: &[(&str, &[(u64, f64)])],
 ) -> io::Result<PathBuf> {
@@ -425,7 +594,7 @@ pub fn export_run(
     fs::write(dir.join("counters.json"), counters_json(log, loop_stats).pretty())?;
     let events = Value::Array(log.records().iter().map(record_json).collect());
     fs::write(dir.join("events.json"), events.pretty())?;
-    fs::write(dir.join("flows.json"), flows_json(flows).pretty())?;
+    fs::write(dir.join("flows.json"), flows_json(flows, retired).pretty())?;
     fs::write(dir.join("tfc_slots.csv"), slots_csv(slots))?;
     if spans.enabled() {
         fs::write(dir.join("spans.json"), spans.to_json().pretty())?;
@@ -525,6 +694,7 @@ mod tests {
             &stats,
             &[sample()],
             &flows,
+            None,
             &spans,
             &[("sw1.p0.rho", points)],
         )
@@ -575,6 +745,7 @@ mod tests {
             &stats,
             &[sample()],
             &flows,
+            None,
             &SpanTracker::new(crate::TraceConfig::Off),
             &[],
         )
@@ -586,6 +757,42 @@ mod tests {
         assert!(m_off.get("sim").is_none());
         std::fs::remove_dir_all(&dir).ok();
         std::env::remove_var("TFC_RESULTS_DIR");
+    }
+
+    #[test]
+    fn retired_flows_json_roundtrips() {
+        let mut fct = QuantileSketch::new(0.01);
+        let mut bytes = QuantileSketch::new(0.01);
+        let mut rtx = QuantileSketch::new(0.01);
+        let mut slow = QuantileSketch::new(0.01);
+        for i in 1..=500u64 {
+            fct.record(i as f64 * 1_000.0);
+            bytes.record(600.0 + i as f64);
+            rtx.record((i % 3) as f64);
+            slow.record(1_000.0 + i as f64);
+        }
+        let retired = RetiredFlows {
+            alpha: 0.01,
+            total: 500,
+            slab_capacity: 32,
+            slab_peak: 30,
+            classes: vec![RetiredClass {
+                class: 0,
+                name: "web-search".into(),
+                count: 500,
+                fct_ns: fct,
+                bytes,
+                retransmits: rtx,
+                slowdown_milli: slow,
+            }],
+        };
+        let doc = flows_json(&[], Some(&retired));
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("tfc-flows/v2"));
+        assert!(doc.get("live").unwrap().as_array().unwrap().is_empty());
+        let back = retired_from_json(&doc).unwrap();
+        assert_eq!(back, retired, "sketches must survive the JSON roundtrip");
+        // The bare-array legacy form is rejected, not misparsed.
+        assert!(retired_from_json(&flows_json(&[], None)).is_err());
     }
 
     #[test]

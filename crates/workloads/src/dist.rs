@@ -41,6 +41,26 @@ pub fn background_flow_sizes() -> PiecewiseCdf {
     ])
 }
 
+/// A synthetic stand-in for the measured cache-follower flow-size
+/// distribution (Facebook memcached-style RPC traffic, as used by the
+/// BFC and Homa evaluations): almost everything is a sub-kilobyte to
+/// few-kilobyte object fetch, with a thin tail of larger responses and
+/// essentially no elephants. Pairs with [`background_flow_sizes`] in
+/// the streaming million-flow mix.
+pub fn cache_follower_flow_sizes() -> PiecewiseCdf {
+    PiecewiseCdf::new(vec![
+        (300.0, 0.30),
+        (500.0, 0.50),
+        (700.0, 0.65),
+        (1_000.0, 0.75),
+        (2_000.0, 0.85),
+        (5_000.0, 0.92),
+        (10_000.0, 0.96),
+        (50_000.0, 0.99),
+        (200_000.0, 1.00),
+    ])
+}
+
 /// Samples a flow size in bytes from a piecewise CDF.
 pub fn sample_size(rng: &mut impl Rng, cdf: &PiecewiseCdf) -> u64 {
     let u: f64 = rng.gen_range(0.0..1.0);
@@ -87,6 +107,89 @@ mod tests {
         // Median a few kB, mean dominated by the elephants.
         assert!(cdf.inverse(0.5) < 20_000.0);
         assert!(cdf.mean() > 500_000.0);
+    }
+
+    #[test]
+    fn cache_follower_sizes_are_mice() {
+        let cdf = cache_follower_flow_sizes();
+        assert!(cdf.inverse(0.5) <= 500.0, "median is a sub-kB object");
+        assert!(cdf.mean() < 10_000.0, "no elephant tail");
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..10_000).all(|_| sample_size(&mut rng, &cdf) >= 1));
+    }
+
+    /// KS goodness-of-fit of a million Poisson interarrival draws
+    /// against the analytic exponential CDF. The critical value for
+    /// n = 10^6 at significance 0.001 is 1.95 / sqrt(n) ~ 0.00195; the
+    /// threshold leaves headroom for the nanosecond truncation of
+    /// `Dur`. Deterministic seed, so this either always passes or
+    /// always fails.
+    #[test]
+    fn exp_interarrival_ks_fits_exponential_over_1e6_draws() {
+        const N: usize = 1_000_000;
+        let mut rng = StdRng::seed_from_u64(0xD157);
+        let mean = Dur::micros(100);
+        let m = mean.as_nanos() as f64;
+        let mut xs: Vec<f64> = (0..N)
+            .map(|_| exp_interarrival(&mut rng, mean).as_nanos() as f64)
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut d: f64 = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            let f = 1.0 - (-x / m).exp();
+            let lo = i as f64 / N as f64;
+            let hi = (i + 1) as f64 / N as f64;
+            d = d.max((f - lo).abs()).max((hi - f).abs());
+        }
+        assert!(d < 0.0025, "KS statistic {d} too large for exponential fit");
+        let sample_mean = xs.iter().sum::<f64>() / N as f64;
+        assert!(
+            (sample_mean - m).abs() / m < 0.005,
+            "sample mean {sample_mean} vs analytic {m}"
+        );
+    }
+
+    /// Chi-square goodness-of-fit of a million empirical-CDF draws
+    /// against the knot-interval probabilities, for both flow-size
+    /// mixes. 11 intervals + the atom at the first knot give at most
+    /// 11 degrees of freedom; the 0.001 critical value is ~31.3.
+    /// Also pins the sample mean to the analytic trapezoidal mean.
+    #[test]
+    fn flow_size_cdfs_match_analytic_shape_over_1e6_draws() {
+        const N: usize = 1_000_000;
+        for (name, cdf, seed) in [
+            ("web-search", background_flow_sizes(), 11u64),
+            ("cache-follower", cache_follower_flow_sizes(), 13u64),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Knot values and cumulative probabilities define the bins:
+            // bin 0 is the atom at the first knot, bin i the half-open
+            // interval (v_{i-1}, v_i].
+            let knots = cdf.knots().to_vec();
+            let mut counts = vec![0u64; knots.len()];
+            let mut total = 0.0f64;
+            for _ in 0..N {
+                let s = sample_size(&mut rng, &cdf) as f64;
+                total += s;
+                let bin = knots.partition_point(|&(v, _)| v < s);
+                counts[bin.min(knots.len() - 1)] += 1;
+            }
+            let mut chi2 = 0.0;
+            let mut prev_p = 0.0;
+            for (i, &(_, p)) in knots.iter().enumerate() {
+                let expect = (p - prev_p) * N as f64;
+                prev_p = p;
+                let diff = counts[i] as f64 - expect;
+                chi2 += diff * diff / expect;
+            }
+            assert!(chi2 < 40.0, "{name}: chi-square {chi2} rejects the CDF");
+            let sample_mean = total / N as f64;
+            let analytic = cdf.mean();
+            assert!(
+                (sample_mean - analytic).abs() / analytic < 0.02,
+                "{name}: sample mean {sample_mean} vs analytic {analytic}"
+            );
+        }
     }
 
     #[test]

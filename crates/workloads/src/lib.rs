@@ -6,15 +6,20 @@
 //!   §6.1.2 and §6.2.2 (Figs. 13 and 16);
 //! * [`shuffle`] — MapReduce-style all-to-all transfers;
 //! * [`dist`] — Poisson arrivals and the synthetic stand-in for the
-//!   DCTCP web-search flow-size distribution.
+//!   DCTCP web-search flow-size distribution;
+//! * [`stream`] — the open-loop streaming engine: per-class Poisson
+//!   arrivals sustained indefinitely in O(active flows) memory, built
+//!   to pair with the simulator's flow-retirement pipeline.
 
 pub mod benchmark;
 pub mod dist;
 pub mod incast;
 pub mod onoff;
 pub mod shuffle;
+pub mod stream;
 
 pub use benchmark::{BenchmarkApp, BenchmarkConfig, FlowClass};
 pub use incast::{IncastApp, IncastConfig, RoundStats};
 pub use onoff::{OnOffApp, OnOffFlow};
 pub use shuffle::{ShuffleApp, ShuffleConfig};
+pub use stream::{ClassCounters, StreamApp, StreamClass, StreamConfig};

@@ -18,9 +18,11 @@ cargo test -q --workspace
 cargo test -q -p tfc-repro --test telemetry
 
 # Three-way scheduler equivalence: reference heap, timing wheel, and
-# wheel with batched dispatch must export byte-identical artifacts.
-# (Also part of the workspace suite above; run explicitly so a failure
-# names the gate.)
+# wheel with batched dispatch must export byte-identical artifacts —
+# including the open-loop streaming scenario, where flow retirement
+# recycles ids mid-run and a same-seed re-run must reproduce the whole
+# bundle byte for byte. (Also part of the workspace suite above; run
+# explicitly so a failure names the gate.)
 cargo test -q -p tfc-repro --test sched_equivalence
 
 # tfc-trace must summarize a smoke-run artifact bundle from the files
@@ -55,11 +57,31 @@ grep "first divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
 # — the binary itself asserts positivity and outcome identity).
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
 test -s "$TRACE_DIR/bench/BENCH_scale.json"
-grep '"schema": "tfc-bench-scale/v3"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v4"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_nobatch_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+
+# Streaming smoke: tfc-million --quick validates its sketches against
+# an exact oracle, completes 100k open-loop flows with bounded slab and
+# arena high-water marks (asserted by the binary), and merges a
+# well-formed "million" block into BENCH_scale.json.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-million -- --quick >/dev/null
+grep '"million"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"flows_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"slab_capacity"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"oracle_classes_checked"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+# The scale-bench rows must survive the merge (and vice versa: a
+# re-run of scale-bench preserves the million block).
+grep '"schema": "tfc-bench-scale/v4"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+
+# tfc-trace --flows: the per-class retired table must render from the
+# v2 flows.json alone (self-test), and the streaming run's artifacts
+# must summarize cleanly.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --flows-smoke >/dev/null
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --flows "$TRACE_DIR/million-quick" | grep "retired flows:" >/dev/null
 
 # Tracing-overhead smoke: flow-sampled tracing on the leaf-spine run
 # must stay within 10% of the untraced events/sec (ratio <= 1.10).

@@ -2,17 +2,26 @@
 //! and without same-tick batch dispatch — must reproduce the reference
 //! binary-heap backend *byte for byte*.
 //!
-//! Two deterministic scenarios — a figure-style incast and a chaos
-//! fault timeline on a leaf-spine — run once per variant, exporting the
-//! full artifact bundle (manifest, counters, events, flows, TFC slot
-//! gauges, lifecycle-span sketches). Every exported file except the
-//! manifest must be byte-identical across all three variants: the wheel
-//! is a pure data-structure substitution, and batch coalescing only
-//! changes how the dispatch loop walks the already-determined
-//! `(time, seq)` order, never the order itself. The manifest is the one
-//! artifact that *should* differ — it records which backend produced
-//! the run — so it is compared semantically: backend fields must match
-//! the variant, everything else must be identical.
+//! Three deterministic scenarios — a figure-style incast, a chaos
+//! fault timeline on a leaf-spine, and an open-loop streaming run with
+//! flow retirement — run once per variant, exporting the full artifact
+//! bundle (manifest, counters, events, flows, TFC slot gauges,
+//! lifecycle-span sketches). Every exported file except the manifest
+//! must be byte-identical across all three variants: the wheel is a
+//! pure data-structure substitution, and batch coalescing only changes
+//! how the dispatch loop walks the already-determined `(time, seq)`
+//! order, never the order itself. The manifest is the one artifact
+//! that *should* differ — it records which backend produced the run —
+//! so it is compared semantically: backend fields must match the
+//! variant, everything else must be identical.
+//!
+//! The streaming scenario pushes the bar further: flow ids are
+//! recycled mid-run through the retirement quarantine and the retired
+//! sketches land in the v2 `flows.json`, so byte-identity here proves
+//! the whole retirement pipeline — deferred `Retire` calls, slab
+//! reuse, sketch folds — is schedule-stable. A same-seed re-run of the
+//! reference variant must also reproduce the entire streaming bundle
+//! (manifest included) byte for byte.
 //!
 //! Kept as a single `#[test]` because all halves set
 //! `TFC_RESULTS_DIR`; Rust runs tests in threads and the environment is
@@ -24,6 +33,7 @@ use chaos::FaultTimeline;
 use experiments::artifacts::maybe_export;
 use simnet::app::NullApp;
 use simnet::endpoint::FlowSpec;
+use simnet::retire::RetireConfig;
 use simnet::sim::{SimConfig, Simulator};
 use simnet::topology::{leaf_spine, star};
 use simnet::units::{Bandwidth, Dur, Time};
@@ -31,6 +41,8 @@ use simnet::SchedulerKind;
 use telemetry::{LogMode, TelemetryConfig};
 use tfc::config::TfcSwitchConfig;
 use tfc::{TfcStack, TfcSwitchPolicy};
+use workloads::dist::{background_flow_sizes, cache_follower_flow_sizes};
+use workloads::{StreamApp, StreamClass, StreamConfig};
 
 /// One scheduling configuration under test.
 #[derive(Clone, Copy, Debug)]
@@ -140,6 +152,67 @@ fn run_chaos(v: Variant) {
     maybe_export(sim.core(), "leaf_spine(4x6)", "sched-equivalence chaos");
 }
 
+/// Open-loop streaming mix with flow retirement: two RPC classes drive
+/// a small leaf-spine until 1 500 flows complete, recycling flow ids
+/// through the retirement quarantine along the way. The retired
+/// sketches and per-class counters ride in the v2 `flows.json`.
+fn run_stream(v: Variant) {
+    let (t, hosts, _switches) = leaf_spine(
+        3,
+        4,
+        Bandwidth::gbps(10),
+        Bandwidth::gbps(40),
+        Dur::micros(20),
+    );
+    let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+    let app = StreamApp::new(StreamConfig {
+        hosts,
+        classes: vec![
+            StreamClass {
+                name: "cache-follower".into(),
+                mean_interarrival: Dur::micros(4),
+                sizes: cache_follower_flow_sizes(),
+                weight: 1,
+            },
+            StreamClass {
+                name: "web-search".into(),
+                mean_interarrival: Dur::micros(40),
+                sizes: background_flow_sizes(),
+                weight: 1,
+            },
+        ],
+        target_completed: Some(1_500),
+        horizon: None,
+        max_active: 0,
+    });
+    let mut sim = Simulator::new(
+        net,
+        Box::new(TfcStack::default()),
+        app,
+        SimConfig {
+            seed: 23,
+            retire: Some(RetireConfig {
+                base_rtt: Dur::micros(170),
+                line_rate: Bandwidth::gbps(10),
+                classes: vec!["cache-follower".into(), "web-search".into()],
+                ..RetireConfig::default()
+            }),
+            telemetry: telemetry("equiv_stream"),
+            scheduler: v.kind,
+            coalesce: v.coalesce,
+            ..Default::default()
+        },
+    );
+    sim.run();
+    assert!(
+        sim.app().completed() >= 1_500,
+        "stream scenario stalled at {} completions under {}",
+        sim.app().completed(),
+        v.name
+    );
+    maybe_export(sim.core(), "leaf_spine(3x4)", "sched-equivalence stream");
+}
+
 fn read(dir: &Path, run: &str, file: &str) -> Vec<u8> {
     let p = dir.join(run).join(file);
     std::fs::read(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
@@ -207,13 +280,30 @@ fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
         std::env::set_var("TFC_RESULTS_DIR", &dir);
         run_incast(v);
         run_chaos(v);
+        run_stream(v);
         dir
     };
     let dirs: Vec<PathBuf> = VARIANTS.iter().map(|&v| dir_of(v)).collect();
+
+    // Same-seed re-run of the reference variant: the streaming bundle —
+    // manifest included, since backend and seed are identical — must
+    // reproduce byte for byte. Retirement recycles flow ids mid-run, so
+    // this pins down the whole lifecycle pipeline, not just the
+    // scheduler.
+    let rerun = base.join("heap_rerun");
+    std::env::set_var("TFC_RESULTS_DIR", &rerun);
+    run_stream(VARIANTS[0]);
     std::env::remove_var("TFC_RESULTS_DIR");
+    for file in ARTIFACTS.into_iter().chain(["manifest.json"]) {
+        assert_eq!(
+            read(&dirs[0], "equiv_stream", file),
+            read(&rerun, "equiv_stream", file),
+            "equiv_stream/{file} differs between same-seed re-runs"
+        );
+    }
 
     let reference = &dirs[0];
-    for run in ["equiv_incast", "equiv_chaos"] {
+    for run in ["equiv_incast", "equiv_chaos", "equiv_stream"] {
         for file in ARTIFACTS {
             let want = read(reference, run, file);
             assert!(!want.is_empty(), "{run}/{file} is empty");
