@@ -1,13 +1,15 @@
 //! `tfc-scale-bench`: the simulation-core scale suite.
 //!
-//! Runs three scenarios — the paper's 360-host leaf-spine at 10 Gbps
-//! edge links, a wide incast fan-in, and a chaos fault timeline — under
-//! three scheduling variants: the reference binary-heap scheduler, the
-//! timing wheel with batch dispatch off, and the timing wheel with
-//! same-tick batch coalescing (the default). For each scenario, it
-//! checks all variants produced *identical* simulations (same event
-//! count, same delivered bytes) and records wall-clock events/sec,
-//! writing `results/bench/BENCH_scale.json`.
+//! Runs four scenarios — the paper's 360-host leaf-spine at 10 Gbps
+//! edge links, a wide incast fan-in, a chaos fault timeline, and a
+//! k-ary fat-tree scale point (k = 36 → 11664 hosts in full mode) —
+//! under six scheduling variants: the reference binary-heap scheduler,
+//! the timing wheel with batch dispatch off, the timing wheel with
+//! same-tick batch coalescing (the default), and the sharded
+//! lookahead-window scheduler at 1, 2, and 4 extraction threads. For
+//! each scenario, it checks all variants produced *identical*
+//! simulations (same event count, same delivered bytes) and records
+//! wall-clock events/sec, writing `results/bench/BENCH_scale.json`.
 //!
 //! Each scenario also re-runs the default variant with flow-sampled
 //! lifecycle tracing on (16/1000 flows), asserting the traced
@@ -16,6 +18,8 @@
 //! bounds the leaf-spine value at 1.10).
 //!
 //! `--quick` shortens every horizon for CI smoke use (`scripts/verify.sh`).
+//! `--sharded-det` instead exports two same-seed 4-thread sharded runs
+//! for the verify.sh byte-determinism gate (`tfc-trace diff`).
 
 use std::time::Instant;
 
@@ -25,7 +29,7 @@ use rng::{Rng, SeedableRng};
 use simnet::app::NullApp;
 use simnet::endpoint::FlowSpec;
 use simnet::sim::{SimConfig, Simulator};
-use simnet::topology::{leaf_spine, star};
+use simnet::topology::{fat_tree, leaf_spine, star};
 use simnet::units::{Bandwidth, Dur, Time};
 use simnet::SchedulerKind;
 use telemetry::export::{git_describe, results_dir};
@@ -175,6 +179,46 @@ fn chaos_leaf_spine(sim_ms: u64, flows: usize) -> Scenario {
     }
 }
 
+/// k-ary fat-tree (Al-Fares) with a sparse random flow matrix: the
+/// ≥10k-host scale point. Full mode runs k = 36 (11664 hosts, 1620
+/// switches); quick CI smoke uses k = 8 (128 hosts) to exercise the
+/// same code path cheaply.
+fn fat_tree_scale(k: usize, sim_ms: u64, flows: usize) -> Scenario {
+    Scenario {
+        name: "fat_tree",
+        hosts: k * k * k / 4,
+        flows,
+        sim_ms,
+        run: Box::new(move |kind, coalesce, trace| {
+            let (t, hosts, _) = fat_tree(
+                k,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(40),
+                Dur::micros(5),
+            );
+            let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(tfc::TfcStack::default()),
+                NullApp,
+                cfg(kind, coalesce, sim_ms, trace),
+            );
+            let mut rng = rng::rngs::StdRng::seed_from_u64(4099);
+            for _ in 0..flows {
+                let src = *hosts.choose(&mut rng).expect("hosts");
+                let mut dst = *hosts.choose(&mut rng).expect("hosts");
+                while dst == src {
+                    dst = *hosts.choose(&mut rng).expect("hosts");
+                }
+                let bytes = rng.gen_range(20_000u64..400_000);
+                sim.core_mut().start_flow(FlowSpec::sized(src, dst, bytes));
+            }
+            sim.run();
+            outcome(&sim)
+        }),
+    }
+}
+
 struct Row {
     name: &'static str,
     hosts: usize,
@@ -191,6 +235,16 @@ struct Row {
     speedup: f64,
     /// Wheel+batching vs wheel without batching (batching alone).
     batch_speedup: f64,
+    /// Sharded scheduler wall time at 1, 2, and 4 extraction threads.
+    sharded_wall_ms: [f64; 3],
+    sharded_events_per_sec: [f64; 3],
+    /// Sharded at 4 threads vs the reference heap.
+    sharded_speedup: f64,
+    /// Sharded at 4 threads vs sharded at 1 thread: what parallel
+    /// window extraction alone buys (handler execution stays
+    /// sequential to preserve byte-determinism, so this isolates the
+    /// scheduler's share of the wall clock).
+    sharded_thread_scaling: f64,
     traced_wall_ms: f64,
     traced_events_per_sec: f64,
     /// Wheel+batching with sampled lifecycle tracing vs without.
@@ -206,6 +260,16 @@ fn bench(s: &Scenario) -> Row {
     let (heap_out, heap_secs) = timed(SchedulerKind::RefHeap, false, TraceConfig::Off);
     let (nobatch_out, nobatch_secs) = timed(SchedulerKind::Wheel, false, TraceConfig::Off);
     let (wheel_out, wheel_secs) = timed(SchedulerKind::Wheel, true, TraceConfig::Off);
+    let mut sharded_secs = [0.0f64; 3];
+    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let (out, secs) = timed(SchedulerKind::Sharded { threads }, true, TraceConfig::Off);
+        assert_eq!(
+            heap_out, out,
+            "{}: sharded({threads} threads) diverged from heap (events, delivered)",
+            s.name
+        );
+        sharded_secs[i] = secs;
+    }
     // The overhead ratio is measured in adjacent traced/untraced pairs
     // and reported as the minimum per-pair ratio: single wall-clock
     // samples on shared machines swing by double digits, but two runs
@@ -256,6 +320,10 @@ fn bench(s: &Scenario) -> Row {
         wheel_events_per_sec: events as f64 / wheel_secs,
         speedup: heap_secs / wheel_secs,
         batch_speedup: nobatch_secs / wheel_secs,
+        sharded_wall_ms: sharded_secs.map(|s| s * 1e3),
+        sharded_events_per_sec: sharded_secs.map(|s| events as f64 / s),
+        sharded_speedup: heap_secs / sharded_secs[2],
+        sharded_thread_scaling: sharded_secs[0] / sharded_secs[2],
         traced_wall_ms: traced_best * 1e3,
         traced_events_per_sec: events as f64 / traced_best,
         trace_overhead: overhead,
@@ -277,25 +345,91 @@ fn row_json(r: &Row) -> Value {
         "wheel_events_per_sec": r.wheel_events_per_sec,
         "speedup": r.speedup,
         "batch_speedup": r.batch_speedup,
+        "sharded1_wall_ms": r.sharded_wall_ms[0],
+        "sharded2_wall_ms": r.sharded_wall_ms[1],
+        "sharded4_wall_ms": r.sharded_wall_ms[2],
+        "sharded1_events_per_sec": r.sharded_events_per_sec[0],
+        "sharded2_events_per_sec": r.sharded_events_per_sec[1],
+        "sharded4_events_per_sec": r.sharded_events_per_sec[2],
+        "sharded_speedup": r.sharded_speedup,
+        "sharded_thread_scaling": r.sharded_thread_scaling,
         "traced_wall_ms": r.traced_wall_ms,
         "traced_events_per_sec": r.traced_events_per_sec,
         "trace_overhead": r.trace_overhead,
     })
 }
 
+/// `--sharded-det`: exports two same-seed 4-thread sharded chaos
+/// leaf-spine runs with full event/flow/slot telemetry for the
+/// verify.sh determinism gate, which byte-compares them with
+/// `tfc-trace diff`. Profiling stays off — wall-clock timings are
+/// never comparable across runs.
+fn sharded_det_export() {
+    for name in ["sharded-det-a", "sharded-det-b"] {
+        let (t, hosts, switches) = leaf_spine(
+            6,
+            8,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(10),
+            Dur::micros(20),
+        );
+        let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+        let cfg = SimConfig {
+            end: Some(Time(Dur::millis(10).as_nanos())),
+            scheduler: SchedulerKind::Sharded { threads: 4 },
+            coalesce: true,
+            telemetry: TelemetryConfig {
+                events: telemetry::LogMode::Full,
+                sample_one_in: 1,
+                tfc_gauges: true,
+                profile: false,
+                trace: TraceConfig::Full,
+                export: Some(name.to_string()),
+            },
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(net, Box::new(tfc::TfcStack::default()), NullApp, cfg);
+        for i in 0..32 {
+            let src = hosts[i % hosts.len()];
+            let dst = hosts[(i + 13) % hosts.len()];
+            sim.core_mut()
+                .start_flow(FlowSpec::sized(src, dst, 80_000 + 555 * i as u64));
+        }
+        let leaf = switches[1];
+        FaultTimeline::new()
+            .link_flap(Time(2_000_000), Dur::millis(1), leaf, 0)
+            .host_stall(Time(5_000_000), Dur::millis(2), hosts[5])
+            .install(sim.core_mut());
+        sim.run();
+        let dir = experiments::artifacts::maybe_export(
+            sim.core(),
+            "leaf_spine(6x8)",
+            "sharded determinism smoke",
+        )
+        .expect("export directory");
+        println!("{}", dir.display());
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--sharded-det") {
+        sharded_det_export();
+        return;
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let scenarios = if quick {
         vec![
             leaf_spine_360(5, 300),
             incast_fanin(5, 40),
             chaos_leaf_spine(15, 24),
+            fat_tree_scale(8, 4, 120),
         ]
     } else {
         vec![
             leaf_spine_360(60, 1200),
             incast_fanin(40, 120),
             chaos_leaf_spine(100, 48),
+            fat_tree_scale(36, 5, 3000),
         ]
     };
 
@@ -313,6 +447,14 @@ fn main() {
             row.batch_speedup,
             row.trace_overhead,
         );
+        eprintln!(
+            "  sharded 1/2/4 threads: {:.0}/{:.0}/{:.0} ev/s, {:.2}x vs heap at 4t, thread scaling {:.2}x",
+            row.sharded_events_per_sec[0],
+            row.sharded_events_per_sec[1],
+            row.sharded_events_per_sec[2],
+            row.sharded_speedup,
+            row.sharded_thread_scaling,
+        );
         rows.push(row);
     }
 
@@ -321,11 +463,12 @@ fn main() {
         .find(|r| r.name == "leaf_spine_360")
         .expect("leaf-spine scenario present");
     let mut doc = telemetry::json!({
-        "schema": "tfc-bench-scale/v4",
+        "schema": "tfc-bench-scale/v5",
         "mode": if quick { "quick" } else { "full" },
         "git": git_describe().as_str(),
         "scenarios": Value::Array(rows.iter().map(row_json).collect()),
         "leaf_spine_speedup": leaf.speedup,
+        "leaf_spine_sharded_speedup": leaf.sharded_speedup,
         "trace_overhead": leaf.trace_overhead,
     });
 
@@ -351,7 +494,7 @@ fn main() {
         .expect("BENCH_scale.json parses");
     assert_eq!(
         parsed.get("schema").and_then(Value::as_str),
-        Some("tfc-bench-scale/v4")
+        Some("tfc-bench-scale/v5")
     );
     let scen = parsed
         .get("scenarios")
@@ -363,6 +506,10 @@ fn main() {
             "heap_events_per_sec",
             "wheel_nobatch_events_per_sec",
             "wheel_events_per_sec",
+            "sharded1_events_per_sec",
+            "sharded2_events_per_sec",
+            "sharded4_events_per_sec",
+            "sharded_speedup",
             "traced_events_per_sec",
             "trace_overhead",
         ] {

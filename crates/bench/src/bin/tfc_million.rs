@@ -135,11 +135,21 @@ fn main() {
         Value::Object(map) => {
             map.insert("million".to_string(), million);
             // The million block is what v4 adds over v3, so merging it
-            // into an older document upgrades the document's schema.
-            map.insert(
-                "schema".to_string(),
-                Value::Str("tfc-bench-scale/v4".to_string()),
-            );
+            // into an older document upgrades the schema to v4 — but a
+            // newer document (v5+, written by tfc-scale-bench) keeps its
+            // own schema: never downgrade.
+            let existing = map
+                .get("schema")
+                .and_then(|v| v.as_str())
+                .and_then(|s| s.strip_prefix("tfc-bench-scale/v"))
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(0);
+            if existing < 4 {
+                map.insert(
+                    "schema".to_string(),
+                    Value::Str("tfc-bench-scale/v4".to_string()),
+                );
+            }
         }
         _ => panic!("BENCH_scale.json is not an object"),
     }

@@ -163,15 +163,27 @@ impl QuantileSketch {
     }
 
     /// Estimates the `q`-quantile (`q` in [0, 1]) with relative error at
-    /// most α. Returns `None` for an empty sketch.
+    /// most α. Returns `None` for an empty sketch. Estimates are clamped
+    /// to the observed `[min, max]`, so a bucket midpoint can never
+    /// report a value outside the recorded range (q=0 returns the exact
+    /// minimum, q=1 the exact maximum).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
         let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).floor() as u64;
+        // The extreme ranks are known exactly — the scalar min/max ride
+        // alongside the buckets — so return them rather than a bucket
+        // midpoint that can only approximate them.
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank == self.count - 1 {
+            return Some(self.max);
+        }
         let mut cum = self.zero;
         if cum > rank {
-            return Some(0.0);
+            return Some(0.0f64.clamp(self.min, self.max));
         }
         let gamma = self.ln_gamma.exp();
         for (&k, &c) in &self.buckets {
@@ -179,7 +191,8 @@ impl QuantileSketch {
             if cum > rank {
                 // Midpoint of (γ^(k-1), γ^k]: 2γ^k/(γ+1), whose ratio to
                 // any value in the bucket is within [1-α, 1+α].
-                return Some(2.0 * (self.ln_gamma * k as f64).exp() / (gamma + 1.0));
+                let mid = 2.0 * (self.ln_gamma * k as f64).exp() / (gamma + 1.0);
+                return Some(mid.clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -284,6 +297,60 @@ mod tests {
         assert_eq!(s.count(), 1);
         assert_eq!(s.min(), Some(123_456.0));
         assert_eq!(s.max(), Some(123_456.0));
+    }
+
+    /// Regression: a sketch holding a single value used to report the
+    /// geometric bucket midpoint (~100.5 for 100.0) at every quantile,
+    /// and q=0 never returned the recorded minimum. Estimates are now
+    /// clamped to the observed `[min, max]`, which for one value pins
+    /// every quantile to that value exactly.
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut s = QuantileSketch::default();
+        s.record(100.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(100.0), "q = {q}");
+        }
+    }
+
+    /// Regression companion: with two values, q=0 must return the exact
+    /// minimum and q=1 the exact maximum — bucket midpoints may only
+    /// surface strictly inside the observed range.
+    #[test]
+    fn two_value_quantiles_stay_inside_observed_range() {
+        let mut s = QuantileSketch::default();
+        s.record(100.0);
+        s.record(200.0);
+        assert_eq!(s.quantile(0.0), Some(100.0));
+        assert_eq!(s.quantile(1.0), Some(200.0));
+        for q in [0.25, 0.5, 0.75] {
+            let est = s.quantile(q).unwrap();
+            assert!((100.0..=200.0).contains(&est), "q {q} est {est}");
+        }
+    }
+
+    /// Acceptance property: estimates never leave `[min, max]`, for any
+    /// recorded distribution and any quantile.
+    #[test]
+    fn quantile_estimates_never_leave_min_max() {
+        cases(64, |_case, rng| {
+            let n = rng.gen_range(1..500usize);
+            let mut s = QuantileSketch::default();
+            for _ in 0..n {
+                // Spans sub-unit (zero-bucket) through huge magnitudes.
+                let exp = rng.gen_range(-3.0..12.0f64);
+                s.record(10f64.powf(exp));
+            }
+            let (lo, hi) = (s.min().unwrap(), s.max().unwrap());
+            for i in 0..=20 {
+                let q = i as f64 / 20.0;
+                let est = s.quantile(q).unwrap();
+                assert!(
+                    (lo..=hi).contains(&est),
+                    "n {n}: q {q} est {est} outside [{lo}, {hi}]"
+                );
+            }
+        });
     }
 
     #[test]

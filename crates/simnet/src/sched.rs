@@ -67,6 +67,15 @@ pub enum SchedulerKind {
     /// Kept as the reference implementation for equivalence tests and
     /// as the baseline in the scale benchmarks.
     RefHeap,
+    /// Per-shard timing wheels partitioned by node (switch plus its
+    /// hosts), drained window-by-window under conservative lookahead
+    /// with `threads` worker threads. Pop order is still the exact
+    /// global `(time, seq)` order, so artifacts stay byte-identical to
+    /// the single-threaded wheel.
+    Sharded {
+        /// Worker threads (also the shard count); clamped to at least 1.
+        threads: usize,
+    },
 }
 
 /// A cancellable-timer handle returned by
@@ -331,12 +340,360 @@ impl Wheel {
         }
         best
     }
+
+    /// Pops the earliest entry with `at < end`, or `None` when no such
+    /// entry remains — the sharded backend's window drain. Unlike
+    /// [`pop`](Self::pop), the cursor never advances past the window:
+    /// buckets whose range starts beyond `end` stay untouched, so a
+    /// later push cannot land "behind" the cursor and degenerate into
+    /// a sorted insert on the live run.
+    fn pop_before(&mut self, end: u64) -> Option<Entry> {
+        let end_tick = end >> GRAN_BITS;
+        loop {
+            // The live run's tail is the exact minimum over the whole
+            // wheel (buckets sit at strictly later ticks): below `end`
+            // it pops, at or beyond it the window is dry.
+            match self.current.last() {
+                Some(e) if e.at.nanos() < end => {
+                    self.len -= 1;
+                    return self.current.pop();
+                }
+                Some(_) => return None,
+                None => {}
+            }
+            if self.len == 0 {
+                return None;
+            }
+            let mut best: Option<(u64, usize, usize)> = None;
+            for level in (0..LEVELS).rev() {
+                if let Some((slot, start)) = self.candidate(level) {
+                    if best.map_or(true, |(bs, _, _)| start < bs) {
+                        best = Some((start, level, slot));
+                    }
+                }
+            }
+            let Some((start, level, slot)) = best else {
+                // Only the overflow tier remains. Migrate its head page
+                // into the wheel when it may intersect the window;
+                // entries land in `current`/buckets and the loop
+                // re-examines them (the head itself may still be at or
+                // beyond a mid-tick `end`).
+                let oft = self.overflow.peek().expect("len > 0").0.at.nanos() >> GRAN_BITS;
+                if oft > end_tick {
+                    return None;
+                }
+                debug_assert!(oft >= self.now_tick);
+                self.now_tick = oft;
+                while let Some(h) = self.overflow.peek() {
+                    let t = h.0.at.nanos() >> GRAN_BITS;
+                    if (t ^ self.now_tick) >> HORIZON_BITS != 0 {
+                        break;
+                    }
+                    let m = self.overflow.pop().expect("peeked").0;
+                    if t == self.now_tick {
+                        let key = m.key();
+                        let pos = self.current.partition_point(|x| x.key() > key);
+                        self.current.insert(pos, m);
+                    } else {
+                        self.place_future(m, t);
+                    }
+                }
+                continue;
+            };
+            if start > end_tick {
+                // Everything left starts beyond the window; leave the
+                // cursor where it is.
+                return None;
+            }
+            debug_assert!(start >= self.now_tick);
+            self.now_tick = start;
+            let idx = level * SLOTS + slot;
+            self.occupied[level] &= !(1u64 << slot);
+            if level == 0 {
+                std::mem::swap(&mut self.buckets[idx], &mut self.current);
+                self.current
+                    .sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                continue;
+            }
+            let mut tmp = std::mem::take(&mut self.cascade_buf);
+            std::mem::swap(&mut tmp, &mut self.buckets[idx]);
+            for e in tmp.drain(..) {
+                self.place_internal(e);
+            }
+            self.cascade_buf = tmp;
+        }
+    }
+
+    /// Cheap lower bound on the earliest pending time: exact when the
+    /// live run or only the overflow tier is non-empty, tick-granular
+    /// otherwise (coarse levels round down to their slot's start). The
+    /// sharded window planner needs a conservative bound, never an
+    /// overestimate; an open window that turns out to start early just
+    /// drains nothing and re-plans off the tightened bound.
+    fn next_time_lb(&self) -> Option<u64> {
+        if let Some(e) = self.current.last() {
+            return Some(e.at.nanos());
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            if let Some((_, start)) = self.candidate(level) {
+                let t = start << GRAN_BITS;
+                if best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        if let Some(h) = self.overflow.peek() {
+            let t = h.0.at.nanos();
+            if best.map_or(true, |b| t < b) {
+                best = Some(t);
+            }
+        }
+        best
+    }
+}
+
+/// Per-shard counters maintained by the sharded backend, exported into
+/// `counters.json` under the wall-clock profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardCounters {
+    /// Entries routed into this shard's wheel.
+    pub pushes: u64,
+    /// Entries this shard surrendered to merged ready windows.
+    pub drained: u64,
+}
+
+/// One partition of the sharded backend: a private timing wheel plus a
+/// cached lower bound on its earliest pending time, so window planning
+/// never pays the wheel's bucket-scan peek.
+#[derive(Debug)]
+struct Shard {
+    wheel: Wheel,
+    /// Conservative bound on the earliest `at` (ns) among entries in
+    /// `wheel`: exact after a push, tick-granular after a window drain
+    /// that left only coarse buckets. Never an overestimate; `None`
+    /// when the wheel is empty.
+    next_at: Option<u64>,
+    stats: ShardCounters,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            wheel: Wheel::new(),
+            next_at: None,
+            stats: ShardCounters::default(),
+        }
+    }
+
+    fn push(&mut self, e: Entry) {
+        let at = e.at.nanos();
+        self.next_at = Some(self.next_at.map_or(at, |m| m.min(at)));
+        self.stats.pushes += 1;
+        self.wheel.push(e);
+    }
+
+    /// Moves every entry with `at < end` out of the wheel into `out`
+    /// (in shard-local `(at, seq)` order) and refreshes `next_at` from
+    /// what remains. The wheel's cursor stops inside the window, so
+    /// entries at or beyond `end` are never popped and re-inserted —
+    /// re-insertion after an overshoot would drag the cursor to the
+    /// shard's next (possibly far-future) entry and turn every later
+    /// push into a sorted insert on the live run.
+    fn drain_window(&mut self, end: u64, out: &mut Vec<Entry>) {
+        while let Some(e) = self.wheel.pop_before(end) {
+            self.stats.drained += 1;
+            out.push(e);
+        }
+        self.next_at = self.wheel.next_time_lb();
+    }
+}
+
+/// The sharded backend: per-shard wheels behind a merged ready heap.
+///
+/// The fabric is partitioned by node (`shard_of`); the link propagation
+/// delay across the cut is the conservative lookahead `L`. When the
+/// ready heap runs dry, the backend opens a window `[t0, t0 + L)` at the
+/// earliest pending time `t0` and every shard extracts its slice of the
+/// window concurrently (disjoint `&mut` chunks under `std::thread::scope`
+/// — the epoch barrier is the scope join). The slices merge into one
+/// binary heap keyed by the global `(time, seq)` pair, which is unique
+/// per entry, so the merged pop order is independent of both thread
+/// interleaving and shard assignment: byte-identical to the
+/// single-threaded wheel.
+///
+/// Entries scheduled *into* the open window (handlers firing at
+/// `now + serialisation`, cross-shard arrivals at `now + link delay`)
+/// land directly in the ready heap; the lookahead guarantees nothing in
+/// any wheel precedes them. Everything later is routed to its shard's
+/// wheel for a future window.
+#[derive(Debug)]
+struct Sharded {
+    shards: Vec<Shard>,
+    /// `shard_of[node]` — shard index per node id. Unknown nodes and
+    /// events with no node affinity go to shard 0.
+    shard_of: Vec<u32>,
+    /// Worker threads used per window drain (clamped to shard count).
+    threads: usize,
+    /// Conservative lookahead: window width in nanoseconds.
+    lookahead: u64,
+    /// Merged current window, min-ordered by `(at, seq)`. Invariant:
+    /// every entry in every shard wheel has `at >= window_end`, and
+    /// every ready entry has `at < window_end`.
+    ready: BinaryHeap<HeapEntry>,
+    /// Exclusive end of the current window (ns).
+    window_end: u64,
+    /// Windows that extracted at least one entry.
+    windows: u64,
+    /// Reused merge buffer.
+    scratch: Vec<Entry>,
+    /// Reused per-worker drain buffers.
+    bufs: Vec<Vec<Entry>>,
+}
+
+/// Default lookahead before a shard map is configured: one wheel tick,
+/// which makes the unconfigured single shard behave like the plain
+/// wheel's tick-at-a-time drain.
+const DEFAULT_LOOKAHEAD: u64 = 1 << GRAN_BITS;
+
+impl Sharded {
+    fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Sharded {
+            shards: vec![Shard::new()],
+            shard_of: Vec::new(),
+            threads,
+            lookahead: DEFAULT_LOOKAHEAD,
+            ready: BinaryHeap::new(),
+            window_end: 0,
+            windows: 0,
+            scratch: Vec::new(),
+            bufs: vec![Vec::new(); threads],
+        }
+    }
+
+    fn configure(&mut self, shard_of: Vec<u32>, shards: usize, lookahead_ns: u64) {
+        debug_assert!(
+            self.ready.is_empty() && self.shards.iter().all(|s| s.next_at.is_none()),
+            "shard map must be configured before any event is scheduled"
+        );
+        debug_assert!(shard_of.iter().all(|&s| (s as usize) < shards.max(1)));
+        self.shards = (0..shards.max(1)).map(|_| Shard::new()).collect();
+        self.shard_of = shard_of;
+        self.lookahead = lookahead_ns.max(1);
+    }
+
+    fn shard_idx(&self, ev: &Event) -> usize {
+        ev.node_affinity()
+            .and_then(|n| self.shard_of.get(n.0 as usize))
+            .map_or(0, |&s| s as usize)
+    }
+
+    fn push(&mut self, e: Entry) {
+        if e.at.nanos() < self.window_end {
+            // Inside the open window: by the lookahead invariant no
+            // wheel entry precedes it, so it joins the ready heap at
+            // its (time, seq) slot.
+            self.ready.push(HeapEntry(e));
+            return;
+        }
+        let idx = self.shard_idx(&e.event);
+        self.shards[idx].push(e);
+    }
+
+    /// Opens windows until the ready heap holds the next events: plans
+    /// `[t0, t0 + lookahead)` off the per-shard `next_at` bounds,
+    /// drains participating shards (in parallel when configured), and
+    /// heapifies the union. A window planned off a tick-granular lower
+    /// bound can come up dry; the loop then re-plans off the bounds the
+    /// drain just tightened, which strictly advance, so it terminates.
+    /// No-op when every wheel is empty.
+    fn refill(&mut self) {
+        while self.ready.is_empty() {
+            let Some(t0) = self.shards.iter().filter_map(|s| s.next_at).min() else {
+                return;
+            };
+            let end = t0
+                .saturating_add(self.lookahead)
+                .max(t0.saturating_add(1));
+            self.window_end = end;
+            // Thread the drain across shards that actually intersect
+            // the window; spawning for idle shards is pure overhead.
+            let active = self
+                .shards
+                .iter()
+                .filter(|s| s.next_at.is_some_and(|a| a < end))
+                .count();
+            let workers = self.threads.min(active).max(1);
+            if workers == 1 {
+                let scratch = &mut self.scratch;
+                for sh in &mut self.shards {
+                    if sh.next_at.is_some_and(|a| a < end) {
+                        sh.drain_window(end, scratch);
+                    }
+                }
+            } else {
+                let chunk = self.shards.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (shards, buf) in self.shards.chunks_mut(chunk).zip(self.bufs.iter_mut()) {
+                        scope.spawn(move || {
+                            for sh in shards {
+                                if sh.next_at.is_some_and(|a| a < end) {
+                                    sh.drain_window(end, buf);
+                                }
+                            }
+                        });
+                    }
+                });
+                for buf in &mut self.bufs {
+                    self.scratch.append(buf);
+                }
+            }
+            if self.scratch.is_empty() {
+                continue;
+            }
+            self.windows += 1;
+            // Rebuild the heap in place, reusing its allocation;
+            // `(at, seq)` keys are globally unique, so the heap order —
+            // and therefore the pop sequence — does not depend on the
+            // order the worker buffers were appended in.
+            let mut entries = std::mem::take(&mut self.ready).into_vec();
+            entries.extend(self.scratch.drain(..).map(HeapEntry));
+            self.ready = BinaryHeap::from(entries);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        self.ready.pop().map(|e| e.0)
+    }
+
+    fn peek_key(&self) -> Option<(Time, u64)> {
+        if let Some(h) = self.ready.peek() {
+            return Some(h.0.key());
+        }
+        // Between windows the caches hold a conservative bound on the
+        // earliest wheel time (exact straight after a push); the seq
+        // component is unknown but only the time is observable through
+        // this path, and no simulation decision depends on it.
+        self.shards
+            .iter()
+            .filter_map(|s| s.next_at)
+            .min()
+            .map(|t| (Time(t), 0))
+    }
 }
 
 #[derive(Debug)]
 enum Backend {
     Wheel(Wheel),
     Heap(BinaryHeap<HeapEntry>),
+    Sharded(Box<Sharded>),
 }
 
 impl Backend {
@@ -344,6 +701,7 @@ impl Backend {
         match self {
             Backend::Wheel(w) => w.push(e),
             Backend::Heap(h) => h.push(HeapEntry(e)),
+            Backend::Sharded(s) => s.push(e),
         }
     }
 
@@ -351,6 +709,7 @@ impl Backend {
         match self {
             Backend::Wheel(w) => w.pop(),
             Backend::Heap(h) => h.pop().map(|e| e.0),
+            Backend::Sharded(s) => s.pop(),
         }
     }
 
@@ -358,6 +717,7 @@ impl Backend {
         match self {
             Backend::Wheel(w) => w.peek_key(),
             Backend::Heap(h) => h.peek().map(|e| e.0.key()),
+            Backend::Sharded(s) => s.peek_key(),
         }
     }
 
@@ -370,6 +730,9 @@ impl Backend {
         match self {
             Backend::Wheel(w) => w.current.last(),
             Backend::Heap(h) => h.peek().map(|e| &e.0),
+            // The ready heap's top is the global head while a window is
+            // open; between windows the next entry needs a refill first.
+            Backend::Sharded(s) => s.ready.peek().map(|e| &e.0),
         }
     }
 }
@@ -436,6 +799,9 @@ impl EventQueue {
         let backend = match kind {
             SchedulerKind::Wheel => Backend::Wheel(Wheel::new()),
             SchedulerKind::RefHeap => Backend::Heap(BinaryHeap::new()),
+            SchedulerKind::Sharded { threads } => {
+                Backend::Sharded(Box::new(Sharded::new(threads)))
+            }
         };
         EventQueue {
             backend,
@@ -450,6 +816,29 @@ impl EventQueue {
     /// Which backend this queue runs on.
     pub fn kind(&self) -> SchedulerKind {
         self.kind
+    }
+
+    /// Installs the shard map for the sharded backend: `shard_of[node]`
+    /// names each node's shard (of `shards` total) and `lookahead_ns`
+    /// is the conservative window width — the minimum link propagation
+    /// delay across the shard cut. Must be called before any event is
+    /// scheduled; a no-op on the other backends.
+    pub fn configure_shards(&mut self, shard_of: Vec<u32>, shards: usize, lookahead_ns: u64) {
+        if let Backend::Sharded(s) = &mut self.backend {
+            debug_assert_eq!(self.live, 0, "configure_shards on a non-empty queue");
+            s.configure(shard_of, shards, lookahead_ns);
+        }
+    }
+
+    /// Per-shard queue counters `(windows opened, per-shard stats)` for
+    /// the sharded backend; `None` on the other backends.
+    pub fn shard_stats(&self) -> Option<(u64, Vec<ShardCounters>)> {
+        match &self.backend {
+            Backend::Sharded(s) => {
+                Some((s.windows, s.shards.iter().map(|sh| sh.stats).collect()))
+            }
+            _ => None,
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -589,7 +978,12 @@ mod tests {
     use rng::props::{cases, vec_u64};
     use rng::Rng;
 
-    const KINDS: [SchedulerKind; 2] = [SchedulerKind::Wheel, SchedulerKind::RefHeap];
+    const KINDS: [SchedulerKind; 4] = [
+        SchedulerKind::Wheel,
+        SchedulerKind::RefHeap,
+        SchedulerKind::Sharded { threads: 1 },
+        SchedulerKind::Sharded { threads: 2 },
+    ];
 
     fn token_of(ev: &Event) -> u64 {
         match ev {
@@ -943,6 +1337,113 @@ mod tests {
             assert_eq!(order, vec![2], "{kind:?}");
             assert!(q.is_empty(), "{kind:?}");
         }
+    }
+
+    /// A sharded queue with a real multi-shard map must reproduce the
+    /// reference heap's exact pop sequence — node-affine events land in
+    /// different shards, windows are tiny (lookahead 512 ns) so the
+    /// merge path is exercised constantly, and the thread count must
+    /// not be observable.
+    #[test]
+    fn sharded_map_matches_heap_across_thread_counts() {
+        use crate::packet::NodeId;
+        fn tok(ev: &Event) -> u64 {
+            match ev {
+                Event::PolicyTimer { token, .. } => *token,
+                Event::AppTimer { token } => 1_000_000 + *token,
+                _ => panic!("unexpected event"),
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            cases(32, |_case, rng| {
+                let mut sharded =
+                    EventQueue::with_kind(SchedulerKind::Sharded { threads });
+                // Five nodes over three shards, plus no-affinity events
+                // (AppTimer) pinned to shard 0.
+                sharded.configure_shards(vec![0, 1, 2, 0, 1], 3, 512);
+                let mut heap = EventQueue::with_kind(SchedulerKind::RefHeap);
+                let mut now = 0u64;
+                let mut token = 0u64;
+                let mut handles: Vec<(TimerHandle, TimerHandle)> = Vec::new();
+                for _ in 0..400 {
+                    match rng.gen_range(0u32..8) {
+                        0..=4 => {
+                            let at = Time(now + rng.gen_range(0..100_000u64));
+                            let ev = if rng.gen_bool(0.8) {
+                                Event::PolicyTimer {
+                                    node: NodeId(rng.gen_range(0..5u32)),
+                                    token,
+                                }
+                            } else {
+                                Event::AppTimer { token }
+                            };
+                            if rng.gen_bool(0.25) {
+                                handles.push((
+                                    sharded.schedule_cancellable(at, ev.clone()),
+                                    heap.schedule_cancellable(at, ev),
+                                ));
+                            } else {
+                                sharded.schedule(at, ev.clone());
+                                heap.schedule(at, ev);
+                            }
+                            token += 1;
+                        }
+                        5 => {
+                            if let Some((hs, hh)) = handles.pop() {
+                                assert_eq!(sharded.cancel(hs), heap.cancel(hh));
+                            }
+                        }
+                        _ => {
+                            let a = sharded.pop().map(|(t, e)| (t, tok(&e)));
+                            let b = heap.pop().map(|(t, e)| (t, tok(&e)));
+                            assert_eq!(a, b, "threads {threads}");
+                            if let Some((t, _)) = a {
+                                now = t.nanos();
+                            }
+                        }
+                    }
+                    assert_eq!(sharded.len(), heap.len());
+                }
+                loop {
+                    let a = sharded.pop().map(|(t, e)| (t, tok(&e)));
+                    let b = heap.pop().map(|(t, e)| (t, tok(&e)));
+                    assert_eq!(a, b, "threads {threads}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            });
+        }
+    }
+
+    /// The shard counters see every routed push, and the window count
+    /// grows as the queue drains.
+    #[test]
+    fn sharded_stats_track_pushes_and_windows() {
+        use crate::packet::NodeId;
+        let mut q = EventQueue::with_kind(SchedulerKind::Sharded { threads: 2 });
+        q.configure_shards(vec![0, 1], 2, 1_000);
+        assert!(EventQueue::with_kind(SchedulerKind::Wheel).shard_stats().is_none());
+        for i in 0..10u64 {
+            q.schedule(
+                Time(i * 5_000),
+                Event::PolicyTimer {
+                    node: NodeId((i % 2) as u32),
+                    token: i,
+                },
+            );
+        }
+        let (windows0, stats) = q.shard_stats().expect("sharded");
+        assert_eq!(windows0, 0);
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 10);
+        assert_eq!(stats[0].pushes, 5);
+        assert_eq!(stats[1].pushes, 5);
+        while q.pop().is_some() {}
+        let (windows, stats) = q.shard_stats().expect("sharded");
+        // Entries sit 5 µs apart with a 1 µs lookahead: every pop opens
+        // its own window.
+        assert_eq!(windows, 10);
+        assert_eq!(stats.iter().map(|s| s.drained).sum::<u64>(), 10);
     }
 
     #[test]

@@ -773,10 +773,18 @@ impl<A: Application> Simulator<A> {
         let telemetry = Telemetry::new(&cfg.telemetry, cfg.seed, &Event::KIND_NAMES);
         let policy_timers = net.nodes.iter().map(|_| Vec::new()).collect();
         let retirer = cfg.retire.clone().map(FlowRetirer::new);
+        let mut events = EventQueue::with_kind(cfg.scheduler);
+        if let SchedulerKind::Sharded { threads } = cfg.scheduler {
+            // Partition the fabric per switch (hosts ride with their
+            // switch) and use the minimum cross-shard link delay as the
+            // scheduler's conservative lookahead window.
+            let plan = crate::topology::shard_plan(&net.nodes, &net.switches, threads);
+            events.configure_shards(plan.shard_of, plan.shards, plan.min_cut_delay.as_nanos());
+        }
         Self {
             core: SimCore {
                 now: Time::ZERO,
-                events: EventQueue::with_kind(cfg.scheduler),
+                events,
                 nodes: net.nodes,
                 hosts: net.hosts,
                 switches: net.switches,
@@ -833,6 +841,14 @@ impl<A: Application> Simulator<A> {
             if let Some(m) = &mut state.meter {
                 m.flush(now.nanos());
             }
+        }
+        // Fold the sharded scheduler's per-shard counters into the loop
+        // stats (shard-index order, so the merge is deterministic).
+        if let Some((windows, shards)) = self.core.events.shard_stats() {
+            self.core.telemetry.loop_stats.set_shards(
+                windows,
+                shards.iter().map(|s| (s.pushes, s.drained)).collect(),
+            );
         }
     }
 

@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use crate::node::{Host, Node, Port, PortLink, Switch};
+use crate::node::{Host, Node, Port, PortLink, Switch, NO_ROUTE};
 use crate::packet::NodeId;
 use crate::policy::{DropTail, SwitchPolicy};
 use crate::units::{Bandwidth, Dur};
@@ -35,6 +35,21 @@ pub enum TopologyError {
         /// Number of nodes already in the builder.
         nodes: usize,
     },
+    /// A host has zero or multiple links; every host needs exactly one.
+    HostLinkCount {
+        /// The offending host's id.
+        host: NodeId,
+        /// How many links it has.
+        links: usize,
+    },
+    /// The graph is not connected: `node` cannot reach `unreachable`
+    /// (the first such pair found), so no route table can be filled.
+    Disconnected {
+        /// A node with no path to `unreachable`.
+        node: NodeId,
+        /// The destination host it cannot reach.
+        unreachable: NodeId,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -42,6 +57,16 @@ impl std::fmt::Display for TopologyError {
         match self {
             TopologyError::NodeIdSpaceExhausted { nodes } => {
                 write!(f, "node-id space exhausted: {nodes} nodes, NodeId is u32")
+            }
+            TopologyError::HostLinkCount { host, links } => {
+                write!(f, "host {} must have exactly one link, has {links}", host.0)
+            }
+            TopologyError::Disconnected { node, unreachable } => {
+                write!(
+                    f,
+                    "graph is disconnected: node {} has no path to host {}",
+                    node.0, unreachable.0
+                )
             }
         }
     }
@@ -185,11 +210,25 @@ impl TopologyBuilder {
     /// # Panics
     ///
     /// Panics if a host has more than one link or the graph is
-    /// disconnected.
+    /// disconnected; use [`try_build`](Self::try_build) to handle those
+    /// as structured errors.
     pub fn build(
         self,
-        mut make_policy: impl FnMut(NodeId, &[PortLink]) -> Box<dyn SwitchPolicy>,
+        make_policy: impl FnMut(NodeId, &[PortLink]) -> Box<dyn SwitchPolicy>,
     ) -> Network {
+        self.try_build(make_policy)
+            .unwrap_or_else(|e| panic!("invalid topology: {e}"))
+    }
+
+    /// Fallible [`build`](Self::build): returns a structured
+    /// [`TopologyError`] for malformed inputs (host with a link count
+    /// other than one, disconnected graph) instead of panicking, so
+    /// programmatic builders — shard planners, ECMP fabric generators —
+    /// can validate candidate topologies.
+    pub fn try_build(
+        self,
+        mut make_policy: impl FnMut(NodeId, &[PortLink]) -> Box<dyn SwitchPolicy>,
+    ) -> Result<Network, TopologyError> {
         let n = self.kinds.len();
         let switch_buf = self.switch_buffer.unwrap_or(DEFAULT_SWITCH_BUFFER);
         let host_buf = self.host_buffer.unwrap_or(DEFAULT_HOST_BUFFER);
@@ -226,15 +265,21 @@ impl TopologyBuilder {
         }
 
         for (i, kind) in self.kinds.iter().enumerate() {
-            if *kind == NodeKind::Host {
-                assert_eq!(
-                    ports[i].len(),
-                    1,
-                    "host {i} must have exactly one link, has {}",
-                    ports[i].len()
-                );
+            if *kind == NodeKind::Host && ports[i].len() != 1 {
+                return Err(TopologyError::HostLinkCount {
+                    host: NodeId(i as u32),
+                    links: ports[i].len(),
+                });
             }
-            assert!(!ports[i].is_empty(), "node {i} is disconnected");
+            if ports[i].is_empty() {
+                // An isolated node can reach nothing — degenerate case
+                // of disconnection (covers switch-only builders, where
+                // no host BFS would ever visit it).
+                return Err(TopologyError::Disconnected {
+                    node: NodeId(i as u32),
+                    unreachable: NodeId(i as u32),
+                });
+            }
         }
 
         // BFS from every host to fill each node's route table.
@@ -247,7 +292,23 @@ impl TopologyBuilder {
                     .collect()
             })
             .collect();
-        let mut routes: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        // Only switches route; hosts have a single NIC. Dense u16 port
+        // tables keep fabric-scale builds (10k-host fat-trees) in tens
+        // of megabytes instead of gigabytes.
+        let mut routes: Vec<Vec<u16>> = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::Switch => vec![NO_ROUTE; n],
+                NodeKind::Host => Vec::new(),
+            })
+            .collect();
+        for ps in &ports {
+            assert!(
+                ps.len() < NO_ROUTE as usize,
+                "per-node port count exceeds the u16 route-table range"
+            );
+        }
         for dst in 0..n {
             if self.kinds[dst] != NodeKind::Host {
                 continue;
@@ -266,7 +327,20 @@ impl TopologyBuilder {
                 }
             }
             for v in 0..n {
-                if v == dst || dist[v] == u32::MAX {
+                if v == dst {
+                    continue;
+                }
+                if dist[v] == u32::MAX {
+                    // Previously this slipped past the route fill and
+                    // surfaced as an `expect("connected graph")` panic
+                    // (or a missing-route panic deep in a run); now it
+                    // is a structured validation error.
+                    return Err(TopologyError::Disconnected {
+                        node: NodeId(v as u32),
+                        unreachable: NodeId(dst as u32),
+                    });
+                }
+                if self.kinds[v] != NodeKind::Switch {
                     continue;
                 }
                 // Lowest-peer-id tie-break for determinism.
@@ -277,7 +351,8 @@ impl TopologyBuilder {
                         best = Some((peer, port));
                     }
                 }
-                routes[v][dst] = Some(best.expect("connected graph").1);
+                let (_, port) = best.expect("BFS-reached node has a parent toward dst");
+                routes[v][dst] = port as u16;
             }
         }
 
@@ -304,17 +379,17 @@ impl TopologyBuilder {
                     nodes.push(Node::Switch(Switch {
                         id,
                         ports: ports[i].iter().map(|&l| Port::new(l, switch_buf)).collect(),
-                        routes: routes[i].clone(),
+                        routes: std::mem::take(&mut routes[i]),
                         policy,
                     }));
                 }
             }
         }
-        Network {
+        Ok(Network {
             nodes,
             hosts,
             switches,
-        }
+        })
     }
 
     /// Builds with drop-tail switches everywhere.
@@ -404,6 +479,112 @@ pub fn leaf_spine(
     (t, hosts, switches)
 }
 
+/// A k-ary fat-tree (the standard three-tier Clos used by the 10k-host
+/// datacenter evaluations this repo benchmarks against): `k` pods, each
+/// with `k/2` edge and `k/2` aggregation switches in a full bipartite
+/// mesh, `(k/2)^2` core switches, and `k/2` hosts per edge switch —
+/// `k^3/4` hosts total. Hosts attach at `host_rate`; all fabric links
+/// run at `fabric_rate`.
+///
+/// Returns `(builder, hosts, switches)`; `switches` lists cores first,
+/// then per-pod aggregation then edge switches. Routing is the builder's
+/// deterministic shortest-path with lowest-id tie-breaks, i.e. a single
+/// path per pair (no ECMP spraying yet) — inter-pod traffic concentrates
+/// on the lowest-id core reachable from each source aggregation switch.
+///
+/// # Panics
+///
+/// Panics unless `k` is even and at least 2.
+pub fn fat_tree(
+    k: usize,
+    host_rate: Bandwidth,
+    fabric_rate: Bandwidth,
+    link_delay: Dur,
+) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>) {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even, got {k}");
+    let half = k / 2;
+    let mut t = TopologyBuilder::new();
+    let hosts = t.hosts(k * half * half);
+    let cores: Vec<NodeId> = (0..half * half).map(|_| t.switch()).collect();
+    let mut switches = cores.clone();
+    for pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half).map(|_| t.switch()).collect();
+        let edges: Vec<NodeId> = (0..half).map(|_| t.switch()).collect();
+        switches.extend(&aggs);
+        switches.extend(&edges);
+        for (a, &agg) in aggs.iter().enumerate() {
+            // Aggregation switch `a` owns core group `a`.
+            for j in 0..half {
+                t.link(agg, cores[a * half + j], fabric_rate, link_delay);
+            }
+            for &edge in &edges {
+                t.link(agg, edge, fabric_rate, link_delay);
+            }
+        }
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = hosts[(pod * half + e) * half + h];
+                t.link(host, edge, host_rate, link_delay);
+            }
+        }
+    }
+    (t, hosts, switches)
+}
+
+/// A fabric partition for the sharded scheduler: every node's shard plus
+/// the conservative lookahead the cut supports.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Number of shards (at least 1).
+    pub shards: usize,
+    /// `shard_of[node.0]` is the node's shard index.
+    pub shard_of: Vec<u32>,
+    /// Minimum link propagation delay across the shard cut — the widest
+    /// window a shard can safely extract without seeing a neighbour
+    /// shard's future. Falls back to the fabric-wide minimum link delay
+    /// when no link crosses the cut (e.g. a single shard).
+    pub min_cut_delay: Dur,
+}
+
+/// Partitions a built network for the sharded scheduler: switches are
+/// assigned round-robin in `switches` order (so leaf/pod siblings spread
+/// across shards) and every host joins its switch's shard — a host's
+/// single NIC link then never crosses the cut, leaving link propagation
+/// between switches as the only cross-shard edge and its minimum delay
+/// as the lookahead.
+pub fn shard_plan(nodes: &[Node], switches: &[NodeId], shards: usize) -> ShardPlan {
+    let shards = shards.max(1);
+    let mut shard_of = vec![0u32; nodes.len()];
+    for (i, &sw) in switches.iter().enumerate() {
+        shard_of[sw.0 as usize] = (i % shards) as u32;
+    }
+    for node in nodes {
+        if let Node::Host(h) = node {
+            shard_of[h.id.0 as usize] = shard_of[h.nic.link.peer.0 as usize];
+        }
+    }
+    let mut cut: Option<u64> = None;
+    let mut any: Option<u64> = None;
+    for node in nodes {
+        let ports: Vec<&Port> = match node {
+            Node::Host(h) => vec![&h.nic],
+            Node::Switch(s) => s.ports.iter().collect(),
+        };
+        for p in ports {
+            let d = p.link.delay.as_nanos();
+            any = Some(any.map_or(d, |m: u64| m.min(d)));
+            if shard_of[node.id().0 as usize] != shard_of[p.link.peer.0 as usize] {
+                cut = Some(cut.map_or(d, |m: u64| m.min(d)));
+            }
+        }
+    }
+    ShardPlan {
+        shards,
+        shard_of,
+        min_cut_delay: Dur(cut.or(any).unwrap_or(1)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,7 +668,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "invalid topology")]
     fn host_with_two_links_rejected() {
         let mut t = TopologyBuilder::new();
         let h = t.host();
@@ -500,12 +681,136 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "invalid topology")]
     fn disconnected_graph_rejected() {
         let mut t = TopologyBuilder::new();
         let _h = t.host();
         let _s = t.switch();
         t.build_drop_tail();
+    }
+
+    /// Regression: a disconnected graph used to abort with
+    /// `expect("connected graph")` (or slip through to a missing-route
+    /// panic mid-run); `try_build` now reports a structured error that
+    /// names an unreachable pair, so programmatic fabric builders can
+    /// validate candidates.
+    #[test]
+    fn try_build_reports_disconnection_structurally() {
+        // Two islands, each internally valid: {h0-s}, {h1-s'}.
+        let mut t = TopologyBuilder::new();
+        let h0 = t.host();
+        let h1 = t.host();
+        let s0 = t.switch();
+        let s1 = t.switch();
+        t.link(h0, s0, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(h1, s1, Bandwidth::gbps(1), Dur::micros(1));
+        let err = t.try_build(|_, _| Box::new(DropTail)).err().expect("must fail");
+        let TopologyError::Disconnected { node, unreachable } = err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_ne!(node, unreachable);
+        assert!(err.to_string().contains("disconnected"));
+
+        // Isolated switch: degenerate disconnection, also structured.
+        let mut t = TopologyBuilder::new();
+        let _orphan = t.switch();
+        let err = t.try_build(|_, _| Box::new(DropTail)).err().expect("must fail");
+        assert!(matches!(err, TopologyError::Disconnected { .. }), "{err:?}");
+
+        // Host with two links: structured, with the offending count.
+        let mut t = TopologyBuilder::new();
+        let h = t.host();
+        let sa = t.switch();
+        let sb = t.switch();
+        t.link(h, sa, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(h, sb, Bandwidth::gbps(1), Dur::micros(1));
+        t.link(sa, sb, Bandwidth::gbps(1), Dur::micros(1));
+        let err = t.try_build(|_, _| Box::new(DropTail)).err().expect("must fail");
+        assert_eq!(err, TopologyError::HostLinkCount { host: h, links: 2 });
+
+        // A valid graph passes try_build identically to build.
+        let (t, hosts, _) = testbed(Dur::micros(1));
+        let net = t.try_build(|_, _| Box::new(DropTail)).expect("valid");
+        assert_eq!(net.hosts.len(), hosts.len());
+    }
+
+    #[test]
+    fn fat_tree_shape_and_routes() {
+        let k = 4;
+        let (t, hosts, switches) = fat_tree(
+            k,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(10),
+            Dur::micros(2),
+        );
+        let net = t.build_drop_tail();
+        assert_eq!(hosts.len(), k * k * k / 4);
+        // (k/2)^2 cores + k pods of k aggregation+edge switches.
+        assert_eq!(switches.len(), k * k / 4 + k * k);
+        // Every switch has exactly k ports.
+        for &sw in &switches {
+            let Node::Switch(ref s) = net.nodes[sw.0 as usize] else {
+                panic!()
+            };
+            assert_eq!(s.ports.len(), k, "switch {sw:?}");
+        }
+        // Intra-pod traffic stays below the cores: host0 -> host2 (same
+        // pod, different edge) routes edge -> agg -> edge.
+        let Node::Host(ref h0) = net.nodes[hosts[0].0 as usize] else {
+            panic!()
+        };
+        let edge0 = h0.nic.link.peer;
+        let Node::Switch(ref e0) = net.nodes[edge0.0 as usize] else {
+            panic!()
+        };
+        let up = e0.route(hosts[2]).expect("route exists");
+        let agg = e0.ports[up].link.peer;
+        let Node::Switch(ref a) = net.nodes[agg.0 as usize] else {
+            panic!()
+        };
+        let down = a.route(hosts[2]).expect("route exists");
+        assert_eq!(a.ports[down].link.peer, {
+            let Node::Host(ref h2) = net.nodes[hosts[2].0 as usize] else {
+                panic!()
+            };
+            h2.nic.link.peer
+        });
+    }
+
+    #[test]
+    fn shard_plan_assigns_hosts_with_their_switch() {
+        let (t, hosts, switches) = leaf_spine(
+            4,
+            3,
+            Bandwidth::gbps(1),
+            Bandwidth::gbps(10),
+            Dur::micros(20),
+        );
+        let net = t.build_drop_tail();
+        let plan = shard_plan(&net.nodes, &net.switches, 2);
+        assert_eq!(plan.shards, 2);
+        assert_eq!(plan.shard_of.len(), net.nodes.len());
+        // Switches round-robin in creation order: top=0, leaves 1,0,1,0.
+        for (i, &sw) in switches.iter().enumerate() {
+            assert_eq!(plan.shard_of[sw.0 as usize], (i % 2) as u32);
+        }
+        // Every host shares its leaf's shard, so no host link crosses
+        // the cut.
+        for &h in &hosts {
+            let Node::Host(ref host) = net.nodes[h.0 as usize] else {
+                panic!()
+            };
+            assert_eq!(
+                plan.shard_of[h.0 as usize],
+                plan.shard_of[host.nic.link.peer.0 as usize]
+            );
+        }
+        // All links share one delay here, so the cut minimum is it.
+        assert_eq!(plan.min_cut_delay, Dur::micros(20));
+        // A single shard has no cut and falls back to the fabric min.
+        let solo = shard_plan(&net.nodes, &net.switches, 1);
+        assert!(solo.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(solo.min_cut_delay, Dur::micros(20));
     }
 
     #[test]

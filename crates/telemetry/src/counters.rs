@@ -12,6 +12,12 @@ pub struct LoopStats {
     batches: Vec<u64>,
     nanos: Vec<u64>,
     profile: bool,
+    /// Sharded-scheduler extraction windows opened (0 elsewhere).
+    windows: u64,
+    /// Per-shard `(pushes, drained)` queue counters, in shard-index
+    /// order so the merged view is deterministic. Empty unless the
+    /// sharded scheduler ran.
+    shards: Vec<(u64, u64)>,
 }
 
 impl LoopStats {
@@ -25,7 +31,24 @@ impl LoopStats {
             batches: vec![0; names.len()],
             nanos: vec![0; names.len()],
             profile,
+            windows: 0,
+            shards: Vec::new(),
         }
+    }
+
+    /// Records the sharded scheduler's per-shard queue counters: the
+    /// number of extraction windows opened plus `(pushes, drained)` per
+    /// shard, already in shard-index order.
+    pub fn set_shards(&mut self, windows: u64, shards: Vec<(u64, u64)>) {
+        self.windows = windows;
+        self.shards = shards;
+    }
+
+    /// Sharded-scheduler extraction windows, and per-shard
+    /// `(pushes, drained)` rows in shard-index order (empty unless the
+    /// sharded scheduler ran).
+    pub fn shard_rows(&self) -> (u64, &[(u64, u64)]) {
+        (self.windows, &self.shards)
     }
 
     /// Whether handler timing was requested.

@@ -156,7 +156,7 @@ fn counters_json(log: &EventLog, loop_stats: &LoopStats) -> Value {
             }
         })
         .collect();
-    crate::json!({
+    let mut doc = crate::json!({
         "events": Value::Object(events),
         "stored": log.len(),
         "evicted": log.evicted(),
@@ -164,7 +164,26 @@ fn counters_json(log: &EventLog, loop_stats: &LoopStats) -> Value {
         "loop": Value::Array(loop_rows),
         "loop_total": loop_stats.total(),
         "loop_total_nanos": loop_stats.total_nanos(),
-    })
+    });
+    // Shard counters describe the sharded scheduler's dispatch plumbing,
+    // not the simulation, and (like batch counts) they vary with the
+    // backend — export them only under the profile so unprofiled
+    // artifacts stay byte-identical across scheduler kinds.
+    let (windows, shard_rows) = loop_stats.shard_rows();
+    if profiled && !shard_rows.is_empty() {
+        let rows: Vec<Value> = shard_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(pushes, drained))| {
+                crate::json!({"shard": i, "pushes": pushes, "drained": drained})
+            })
+            .collect();
+        if let Value::Object(map) = &mut doc {
+            map.insert("shard_windows".to_string(), Value::from(windows));
+            map.insert("shards".to_string(), Value::Array(rows));
+        }
+    }
+    doc
 }
 
 /// The JSON form of one event record (the schema documented in the

@@ -62,12 +62,18 @@ impl RttEstimator {
     pub fn rto(&self) -> Dur {
         let base = match self.srtt {
             None => self.min_rto,
-            Some(srtt) => Dur(srtt.as_nanos() + 4 * self.rttvar.as_nanos().max(1)),
+            Some(srtt) => Dur(srtt.as_nanos().saturating_add(4 * self.rttvar.as_nanos().max(1))),
         };
-        let backed = Dur(base.as_nanos() << self.backoff.min(16));
-        Dur(backed
-            .as_nanos()
-            .clamp(self.min_rto.as_nanos(), self.max_rto.as_nanos()))
+        // A large base shifted by the backoff count can overflow u64; an
+        // unchecked `<<` would wrap to a tiny value and the clamp below
+        // would then *shrink* the RTO on backoff. Saturate to max_rto
+        // instead: backoff may only ever lengthen the timeout.
+        let shift = self.backoff.min(16);
+        let backed = match base.as_nanos().checked_shl(shift) {
+            Some(v) if v >> shift == base.as_nanos() => v,
+            _ => self.max_rto.as_nanos(),
+        };
+        Dur(backed.clamp(self.min_rto.as_nanos(), self.max_rto.as_nanos()))
     }
 
     /// Doubles the RTO (called on each timeout).
@@ -139,5 +145,53 @@ mod tests {
         let mut e = RttEstimator::new(Dur::millis(1), Dur::millis(50));
         e.sample(Dur::millis(100));
         assert_eq!(e.rto(), Dur::millis(50));
+    }
+
+    /// Regression: an extreme SRTT-derived base shifted by the backoff
+    /// count used to wrap u64 and come out *below* the pre-backoff RTO.
+    /// The shift now saturates to `max_rto`.
+    #[test]
+    fn huge_base_backoff_saturates_instead_of_wrapping() {
+        let max = Dur::secs(300);
+        let mut e = RttEstimator::new(Dur::millis(1), max);
+        // SRTT near 2^61 ns: one back_off would overflow the shift.
+        e.sample(Dur(1u64 << 61));
+        assert_eq!(e.rto(), max);
+        for _ in 0..20 {
+            e.back_off();
+            assert_eq!(e.rto(), max, "backoff {} wrapped", e.backoff);
+        }
+    }
+
+    /// Acceptance property: over extreme bases and backoff counts, the
+    /// RTO never decreases as backoff increases.
+    #[test]
+    fn rto_is_monotone_in_backoff() {
+        use rng::props::cases;
+        use rng::Rng;
+        cases(128, |_case, rng| {
+            let min_rto = Dur(rng.gen_range(1..10_000_000u64));
+            let max_rto = Dur(min_rto.as_nanos().saturating_add(rng.gen_range(1..u64::MAX / 2)));
+            let mut e = RttEstimator::new(min_rto, max_rto);
+            // Mix ordinary and near-overflow RTT samples.
+            let rtt = if rng.gen_bool(0.5) {
+                Dur(rng.gen_range(1_000..100_000_000u64))
+            } else {
+                Dur(rng.gen_range(1u64 << 50..1u64 << 63))
+            };
+            e.sample(rtt);
+            let mut last = e.rto();
+            assert!(last >= min_rto && last <= max_rto);
+            for i in 0..24 {
+                e.back_off();
+                let rto = e.rto();
+                assert!(
+                    rto >= last,
+                    "RTO shrank from {last:?} to {rto:?} at backoff {i} (rtt {rtt:?})"
+                );
+                assert!(rto >= min_rto && rto <= max_rto, "clamp violated: {rto:?}");
+                last = rto;
+            }
+        });
     }
 }

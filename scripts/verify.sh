@@ -17,12 +17,13 @@ cargo test -q --workspace
 # reconcile exactly with the simulator's ground truth.
 cargo test -q -p tfc-repro --test telemetry
 
-# Three-way scheduler equivalence: reference heap, timing wheel, and
-# wheel with batched dispatch must export byte-identical artifacts —
-# including the open-loop streaming scenario, where flow retirement
-# recycles ids mid-run and a same-seed re-run must reproduce the whole
-# bundle byte for byte. (Also part of the workspace suite above; run
-# explicitly so a failure names the gate.)
+# Six-way scheduler equivalence: reference heap, timing wheel, wheel
+# with batched dispatch, and the sharded backend at 1/2/4 threads must
+# export byte-identical artifacts — including the open-loop streaming
+# scenario, where flow retirement recycles ids mid-run and same-seed
+# re-runs (heap and sharded@4) must reproduce the whole bundle byte
+# for byte. (Also part of the workspace suite above; run explicitly so
+# a failure names the gate.)
 cargo test -q -p tfc-repro --test sched_equivalence
 
 # tfc-trace must summarize a smoke-run artifact bundle from the files
@@ -51,17 +52,28 @@ TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace
 grep "no divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
 grep "first divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
 
-# Scale-bench smoke: the quick suite must run all three scheduling
-# variants (heap, wheel, wheel+batching) to identical outcomes and
-# write a well-formed BENCH_scale.json (schema key, non-zero events/sec
-# — the binary itself asserts positivity and outcome identity).
+# Scale-bench smoke: the quick suite must run all six scheduling
+# variants (heap, wheel, wheel+batching, sharded at 1/2/4 threads) to
+# identical outcomes — including the fat-tree scenario — and write a
+# well-formed BENCH_scale.json (schema key, non-zero events/sec — the
+# binary itself asserts positivity and outcome identity).
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
 test -s "$TRACE_DIR/bench/BENCH_scale.json"
-grep '"schema": "tfc-bench-scale/v4"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v5"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_nobatch_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"sharded4_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"sharded_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"name": "fat_tree"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+
+# Sharded-determinism gate: two same-seed 4-thread sharded chaos
+# leaf-spine runs (full telemetry, profiling off) must export
+# byte-identical artifact bundles under tfc-trace diff.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --sharded-det >/dev/null
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- diff \
+  "$TRACE_DIR/sharded-det-a" "$TRACE_DIR/sharded-det-b" | grep "no divergence" >/dev/null
 
 # Streaming smoke: tfc-million --quick validates its sketches against
 # an exact oracle, completes 100k open-loop flows with bounded slab and
@@ -74,7 +86,7 @@ grep '"slab_capacity"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"oracle_classes_checked"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 # The scale-bench rows must survive the merge (and vice versa: a
 # re-run of scale-bench preserves the million block).
-grep '"schema": "tfc-bench-scale/v4"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v5"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 
 # tfc-trace --flows: the per-class retired table must render from the

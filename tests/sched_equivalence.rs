@@ -1,19 +1,23 @@
 //! Scheduler-equivalence regression: the timing-wheel backend — with
-//! and without same-tick batch dispatch — must reproduce the reference
-//! binary-heap backend *byte for byte*.
+//! and without same-tick batch dispatch — and the sharded parallel
+//! backend at 1, 2, and 4 worker threads must all reproduce the
+//! reference binary-heap backend *byte for byte*.
 //!
 //! Three deterministic scenarios — a figure-style incast, a chaos
 //! fault timeline on a leaf-spine, and an open-loop streaming run with
 //! flow retirement — run once per variant, exporting the full artifact
 //! bundle (manifest, counters, events, flows, TFC slot gauges,
 //! lifecycle-span sketches). Every exported file except the manifest
-//! must be byte-identical across all three variants: the wheel is a
-//! pure data-structure substitution, and batch coalescing only changes
-//! how the dispatch loop walks the already-determined `(time, seq)`
-//! order, never the order itself. The manifest is the one artifact
-//! that *should* differ — it records which backend produced the run —
-//! so it is compared semantically: backend fields must match the
-//! variant, everything else must be identical.
+//! must be byte-identical across all variants: the wheel is a pure
+//! data-structure substitution, batch coalescing only changes how the
+//! dispatch loop walks the already-determined `(time, seq)` order, and
+//! the sharded backend's worker threads only *extract* conservative
+//! lookahead windows in parallel — the merged pop order is keyed by the
+//! globally unique `(time, seq)` pair, so thread interleaving can leak
+//! into nothing. The manifest is the one artifact that *should* differ
+//! — it records which backend produced the run — so it is compared
+//! semantically: backend fields must match the variant, everything
+//! else must be identical.
 //!
 //! The streaming scenario pushes the bar further: flow ids are
 //! recycled mid-run through the retirement quarantine and the retired
@@ -52,7 +56,7 @@ struct Variant {
     coalesce: bool,
 }
 
-const VARIANTS: [Variant; 3] = [
+const VARIANTS: [Variant; 6] = [
     Variant {
         name: "heap",
         kind: SchedulerKind::RefHeap,
@@ -66,6 +70,25 @@ const VARIANTS: [Variant; 3] = [
     Variant {
         name: "wheel_batched",
         kind: SchedulerKind::Wheel,
+        coalesce: true,
+    },
+    // The sharded backend must be byte-identical at every thread count:
+    // worker threads only extract lookahead windows in parallel, the
+    // merged (time, seq) order — and so every artifact byte — is
+    // thread-invariant. Batched dispatch rides on top, as in production.
+    Variant {
+        name: "sharded_t1",
+        kind: SchedulerKind::Sharded { threads: 1 },
+        coalesce: true,
+    },
+    Variant {
+        name: "sharded_t2",
+        kind: SchedulerKind::Sharded { threads: 2 },
+        coalesce: true,
+    },
+    Variant {
+        name: "sharded_t4",
+        kind: SchedulerKind::Sharded { threads: 4 },
         coalesce: true,
     },
 ];
@@ -293,12 +316,27 @@ fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
     let rerun = base.join("heap_rerun");
     std::env::set_var("TFC_RESULTS_DIR", &rerun);
     run_stream(VARIANTS[0]);
-    std::env::remove_var("TFC_RESULTS_DIR");
     for file in ARTIFACTS.into_iter().chain(["manifest.json"]) {
         assert_eq!(
             read(&dirs[0], "equiv_stream", file),
             read(&rerun, "equiv_stream", file),
             "equiv_stream/{file} differs between same-seed re-runs"
+        );
+    }
+
+    // Repeated-run determinism under real parallelism: the 4-thread
+    // sharded variant must reproduce its own streaming bundle (manifest
+    // included) byte for byte — thread scheduling leaks into nothing.
+    let sharded4 = VARIANTS[5];
+    let srerun = base.join("sharded_rerun");
+    std::env::set_var("TFC_RESULTS_DIR", &srerun);
+    run_stream(sharded4);
+    std::env::remove_var("TFC_RESULTS_DIR");
+    for file in ARTIFACTS.into_iter().chain(["manifest.json"]) {
+        assert_eq!(
+            read(&dirs[5], "equiv_stream", file),
+            read(&srerun, "equiv_stream", file),
+            "equiv_stream/{file} differs between same-seed sharded re-runs"
         );
     }
 
