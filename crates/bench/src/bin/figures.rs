@@ -59,7 +59,7 @@ fn parse_args() -> Args {
     }
     if figure.is_empty() {
         eprintln!(
-            "usage: figures <fig06|fig07|...|fig16|ablations|all> [--paper] [--seed N] [--list]"
+            "usage: figures <fig06|fig07|...|fig16|ablations|sweeps|reroute|all> [--paper] [--seed N] [--list]"
         );
         std::process::exit(2);
     }
@@ -128,6 +128,7 @@ fn main() {
         "fig16" => fig16(args.paper_scale, args.seed),
         "ablations" => ablations(args.paper_scale),
         "sweeps" => sweeps(args.paper_scale),
+        "reroute" => reroute(args.paper_scale, args.seed),
         other => {
             eprintln!("unknown figure {other}; try --list");
             std::process::exit(2);
@@ -670,6 +671,61 @@ fn ablations(paper: bool) {
             },
         }),
     );
+}
+
+/// Beyond the paper: reroute-on-link-down recovery on a multipath
+/// fat-tree (see `experiments::reroute`). The uplink carrying the most
+/// sprayed flows flaps; the affected flows' reverse path dies at the
+/// partitioned aggregation switch, and each protocol's recovery from
+/// the asymmetric outage is measured on the aggregate delivery rate.
+fn reroute(paper: bool, seed: u64) {
+    header("Reroute — ECMP fat-tree link-down recovery (TFC vs DCTCP vs TCP)");
+    let mut out = tfc_bench::json::Map::new();
+    println!("proto  | dip depth | recovery | reacquire | fault drops");
+    for proto in experiments::Proto::ALL {
+        let mut cfg = experiments::reroute::RerouteConfig::scaled(proto);
+        cfg.seed = seed;
+        if paper {
+            cfg.horizon = Dur::millis(300);
+            cfg.fault_at = Dur::millis(100);
+            cfg.fault_dur = Dur::millis(50);
+        }
+        let r = experiments::reroute::run(&cfg);
+        let dip = r.dip.as_ref();
+        println!(
+            "{:<6} | {:>9} | {:>8} | {:>9} | {}",
+            proto.label(),
+            dip.map(|d| format!("{:.1} %", d.depth * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            dip.and_then(|d| d.recovery_ns)
+                .map(|ns| fmt_us(ns as f64 / 1e3))
+                .unwrap_or_else(|| "never".into()),
+            r.reacquire_ns
+                .map(|ns| fmt_us(ns as f64 / 1e3))
+                .unwrap_or_else(|| "-".into()),
+            r.fault_drops,
+        );
+        out.insert(
+            proto.label().to_lowercase(),
+            tfc_bench::json!({
+                "baseline_bps": dip.map(|d| d.baseline_bps),
+                "floor_bps": dip.map(|d| d.floor_bps),
+                "dip_depth": dip.map(|d| d.depth),
+                "recovery_ns": dip.and_then(|d| d.recovery_ns),
+                "reacquire_ns": r.reacquire_ns,
+                "delivered_bytes": r.delivered,
+                "fault_drops": r.fault_drops,
+                "queue_drops": r.queue_drops,
+                "no_route_drops": r.no_route_drops,
+                "rerouted": r.reroutes.iter()
+                    .map(|&(node, port, dests)| tfc_bench::json!({
+                        "node": node, "port": port, "dests": dests,
+                    }))
+                    .collect::<Vec<_>>(),
+            }),
+        );
+    }
+    dump_json("reroute", &tfc_bench::json::Value::Object(out));
 }
 
 fn sweeps(paper: bool) {

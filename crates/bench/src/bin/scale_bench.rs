@@ -1,8 +1,11 @@
 //! `tfc-scale-bench`: the simulation-core scale suite.
 //!
-//! Runs four scenarios — the paper's 360-host leaf-spine at 10 Gbps
-//! edge links, a wide incast fan-in, a chaos fault timeline, and a
-//! k-ary fat-tree scale point (k = 36 → 11664 hosts in full mode) —
+//! Runs five scenarios — the paper's 360-host leaf-spine at 10 Gbps
+//! edge links, a wide incast fan-in, a chaos fault timeline, a k-ary
+//! fat-tree scale point (k = 36 → 11664 hosts in full mode), and a
+//! multipath fat-tree whose cross-pod flows spray over every
+//! equal-cost uplink while edge and aggregation links flap (ECMP
+//! forwarding plus selection-time reroute at scale) —
 //! under six scheduling variants: the reference binary-heap scheduler,
 //! the timing wheel with batch dispatch off, the timing wheel with
 //! same-tick batch coalescing (the default), and the sharded
@@ -219,6 +222,58 @@ fn fat_tree_scale(k: usize, sim_ms: u64, flows: usize) -> Scenario {
     }
 }
 
+/// Multipath fat-tree with route churn: a deterministic cross-pod flow
+/// matrix sprays over every equal-cost uplink via the `(flow, hop)`
+/// ECMP hash while one edge uplink and one aggregation-core link flap
+/// mid-run, forcing selection-time reroutes. The cross-variant identity
+/// check then doubles as a scale-sized proof that route churn does not
+/// break sharded lookahead determinism. Quick CI smoke uses k = 8;
+/// full mode k = 16 (1024 hosts).
+fn fat_tree_multipath(k: usize, sim_ms: u64, flows: usize) -> Scenario {
+    Scenario {
+        name: "fat_tree_multipath",
+        hosts: k * k * k / 4,
+        flows,
+        sim_ms,
+        run: Box::new(move |kind, coalesce, trace| {
+            let (t, hosts, switches) = fat_tree(
+                k,
+                Bandwidth::gbps(10),
+                Bandwidth::gbps(40),
+                Dur::micros(5),
+            );
+            let net = t.build(tfc::TfcSwitchPolicy::factory(Default::default()));
+            let mut sim = Simulator::new(
+                net,
+                Box::new(tfc::TfcStack::default()),
+                NullApp,
+                cfg(kind, coalesce, sim_ms, trace),
+            );
+            let n = hosts.len();
+            for i in 0..flows {
+                // Peers half the fabric apart are always in another pod,
+                // so every flow climbs to the core and back.
+                let src = hosts[i % n];
+                let dst = hosts[(i + n / 2 + 1) % n];
+                sim.core_mut()
+                    .start_flow(FlowSpec::sized(src, dst, 60_000 + 333 * i as u64));
+            }
+            // `switches` lists cores first, then per pod aggs then
+            // edges: flap pod 0's first edge's uplink 0 and the first
+            // aggregation switch's first core link.
+            let half = k / 2;
+            let edge0 = switches[half * half + half];
+            let agg0 = switches[half * half];
+            FaultTimeline::new()
+                .link_flap(Time(1_000_000), Dur::millis(1), edge0, 0)
+                .link_flap(Time(2_500_000), Dur::micros(800), agg0, 0)
+                .install(sim.core_mut());
+            sim.run();
+            outcome(&sim)
+        }),
+    }
+}
+
 struct Row {
     name: &'static str,
     hosts: usize,
@@ -423,6 +478,7 @@ fn main() {
             incast_fanin(5, 40),
             chaos_leaf_spine(15, 24),
             fat_tree_scale(8, 4, 120),
+            fat_tree_multipath(8, 4, 96),
         ]
     } else {
         vec![
@@ -430,6 +486,7 @@ fn main() {
             incast_fanin(40, 120),
             chaos_leaf_spine(100, 48),
             fat_tree_scale(36, 5, 3000),
+            fat_tree_multipath(16, 6, 1200),
         ]
     };
 
@@ -462,10 +519,23 @@ fn main() {
         .iter()
         .find(|r| r.name == "leaf_spine_360")
         .expect("leaf-spine scenario present");
+    // Sharded thread-sweep numbers are only interpretable relative to
+    // the machine: record how many hardware threads it advertises and
+    // how many the suite actually keeps busy at the sweep's widest
+    // point (the sequential dispatch thread plus the 4 extraction
+    // workers of `Sharded { threads: 4 }`). `available_parallelism`
+    // is 0 when the platform cannot say.
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
     let mut doc = telemetry::json!({
-        "schema": "tfc-bench-scale/v5",
+        "schema": "tfc-bench-scale/v6",
         "mode": if quick { "quick" } else { "full" },
         "git": git_describe().as_str(),
+        "host": telemetry::json!({
+            "available_parallelism": available_parallelism,
+            "active_threads": 1u64 + 4,
+        }),
         "scenarios": Value::Array(rows.iter().map(row_json).collect()),
         "leaf_spine_speedup": leaf.speedup,
         "leaf_spine_sharded_speedup": leaf.sharded_speedup,
@@ -494,7 +564,23 @@ fn main() {
         .expect("BENCH_scale.json parses");
     assert_eq!(
         parsed.get("schema").and_then(Value::as_str),
-        Some("tfc-bench-scale/v5")
+        Some("tfc-bench-scale/v6")
+    );
+    let host = parsed.get("host").expect("host block present");
+    for key in ["available_parallelism", "active_threads"] {
+        assert!(
+            host.get(key).and_then(Value::as_f64).is_some(),
+            "host.{key} must be recorded"
+        );
+    }
+    assert!(
+        parsed
+            .get("scenarios")
+            .and_then(Value::as_array)
+            .into_iter()
+            .flatten()
+            .any(|s| s.get("name").and_then(Value::as_str) == Some("fat_tree_multipath")),
+        "multipath scenario missing from the suite"
     );
     let scen = parsed
         .get("scenarios")

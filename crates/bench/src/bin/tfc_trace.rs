@@ -12,6 +12,9 @@
 //! tfc-trace --chaos-smoke        run the chaos smoke pair (link flap +
 //!                                host stall, fixed seed) and summarize
 //!                                both artifact bundles
+//! tfc-trace --ecmp-smoke         run a small multipath fat-tree with an
+//!                                uplink flap and summarize it (per-port
+//!                                spray balance, reroute records)
 //! tfc-trace --diff-smoke         differ self-test: two same-seed runs
 //!                                must match, a perturbed seed must not
 //! tfc-trace --flows-smoke        streaming self-test: run a small
@@ -45,8 +48,8 @@ fn main() -> ExitCode {
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: tfc-trace <results/run-dir> | diff <runA> <runB> \
-                 | --flows <run-dir> | --smoke | --chaos-smoke | --diff-smoke \
-                 | --flows-smoke"
+                 | --flows <run-dir> | --smoke | --chaos-smoke | --ecmp-smoke \
+                 | --diff-smoke | --flows-smoke"
             );
             if args.is_empty() {
                 ExitCode::FAILURE
@@ -105,6 +108,13 @@ fn main() -> ExitCode {
             Ok(dir) => summarize(&dir),
             Err(e) => {
                 eprintln!("tfc-trace: smoke run failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--ecmp-smoke") => match ecmp_smoke_run() {
+            Ok(dir) => summarize(&dir),
+            Err(e) => {
+                eprintln!("tfc-trace: ecmp smoke failed: {e}");
                 ExitCode::FAILURE
             }
         },
@@ -172,6 +182,28 @@ fn chaos_smoke_run() -> Result<Vec<PathBuf>, String> {
         );
     }
     Ok(dirs)
+}
+
+/// Runs a small multipath fat-tree — cross-pod flows sprayed over the
+/// edge uplinks by the `(flow, hop)` ECMP hash, one uplink flapping
+/// down mid-run — with full event telemetry, and returns the exported
+/// artifact directory. The summary's spray-balance and fault sections
+/// then show the per-port split and the `Rerouted` repair records.
+fn ecmp_smoke_run() -> Result<PathBuf, String> {
+    use experiments::reroute::RerouteConfig;
+    use experiments::Proto;
+
+    let mut cfg = RerouteConfig::exporting(Proto::Tfc, "smoke-ecmp");
+    cfg.k = 4;
+    cfg.senders = 2;
+    println!(
+        "running ecmp smoke (k=4 fat-tree, uplink flap at {} ms, seed {})...",
+        cfg.fault_at.as_nanos() / 1_000_000,
+        cfg.seed
+    );
+    let r = experiments::reroute::run(&cfg);
+    r.export_dir
+        .ok_or_else(|| "no artifacts exported".to_string())
 }
 
 fn load_json(dir: &Path, name: &str) -> Result<Value, String> {
@@ -348,9 +380,52 @@ fn try_summarize(dir: &Path) -> Result<(), String> {
         }
     }
 
+    spray_balance(recs, &n);
     waterfall(dir)?;
     fault_summary(recs, &slots, &s, &n);
     Ok(())
+}
+
+/// Per-port spray balance: how evenly each switch's egress ports shared
+/// the forwarded packets, from the stored `pkt_enqueue` events. Only
+/// switches that spread traffic over more than one port are shown —
+/// the multipath signature (ECMP spray, or reroute shifting flows onto
+/// surviving members). `balance` is the min/max port share: 1.00 is a
+/// perfect split, small values a lopsided one.
+fn spray_balance(recs: &[Value], n: &dyn Fn(&Value, &str) -> i64) {
+    let mut per_node: BTreeMap<i64, BTreeMap<i64, (u64, u64)>> = BTreeMap::new();
+    for r in recs {
+        if r.get("kind").and_then(Value::as_str) == Some("pkt_enqueue") {
+            let e = per_node
+                .entry(n(r, "node"))
+                .or_default()
+                .entry(n(r, "port"))
+                .or_insert((0, 0));
+            e.0 += 1;
+            e.1 += n(r, "bytes") as u64;
+        }
+    }
+    per_node.retain(|_, ports| ports.len() > 1);
+    if per_node.is_empty() {
+        return;
+    }
+    println!("\nper-port spray balance (multi-port switches):");
+    for (node, ports) in &per_node {
+        let pkts: Vec<u64> = ports.values().map(|&(p, _)| p).collect();
+        let (min, max) = (
+            *pkts.iter().min().expect("non-empty"),
+            *pkts.iter().max().expect("non-empty"),
+        );
+        let split = ports
+            .iter()
+            .map(|(port, &(p, b))| format!("p{port} {p} pkts/{b} B"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  switch {node}: {split}  (balance {:.2})",
+            min as f64 / max as f64
+        );
+    }
 }
 
 /// Renders the retired-flow class table of a streaming run: per-class
@@ -900,6 +975,24 @@ fn fault_summary(
             end,
             w.value
         );
+    }
+    // Route repair: one `rerouted` record per switch end of a downed
+    // link, counting the destinations a surviving ECMP member absorbs.
+    let mut any_reroute = false;
+    for r in recs {
+        if r.get("kind").and_then(Value::as_str) == Some("rerouted") {
+            if !any_reroute {
+                println!("\nreroutes (selection-time ECMP repair):");
+                any_reroute = true;
+            }
+            println!(
+                "  {:.3} ms  switch {} port {}: {} destinations absorbed by surviving members",
+                n(r, "at_ns") as f64 / 1e6,
+                n(r, "node"),
+                n(r, "port"),
+                n(r, "dests"),
+            );
+        }
     }
     let start = windows.iter().map(|w| w.start_ns).min().unwrap_or(0);
     let end = windows

@@ -572,6 +572,132 @@ mod tests {
         assert_eq!(e.window_for(3), e.window().saturating_mul(3));
     }
 
+    /// Packet spray (ECMP): during route churn one flow transiently
+    /// holds delimiter slots on several ports of the same switch. The
+    /// engines are fully independent, so each port adopts it, counts
+    /// its own E from the marks it actually sees, and computes its own
+    /// window — and a FIN releases the slot at *every* port holding it.
+    #[test]
+    fn sprayed_flow_holds_slots_on_several_ports() {
+        let mut a = engine();
+        let mut b = engine();
+        // Flow 1's marks reach both ports (spray); flow 2 rides port a
+        // only.
+        a.on_data(&rm_data(1, MSS), Time(0));
+        b.on_data(&rm_data(1, MSS), Time(0));
+        assert_eq!(a.delimiter(), Some(FlowId(1)));
+        assert_eq!(b.delimiter(), Some(FlowId(1)));
+        a.on_data(&rm_data(2, MSS), Time(50_000));
+        let ra = a.on_data(&rm_data(1, MSS), Time(160_000)).unwrap();
+        let rb = b.on_data(&rm_data(1, MSS), Time(160_000)).unwrap();
+        // Per-port E reflects per-port marks: the shared port sees two
+        // consumers, the private one only the sprayed flow.
+        assert_eq!(ra.effective_flows, 2.0);
+        assert_eq!(rb.effective_flows, 1.0);
+        // The flow's end-to-end stamp is the min along its path, i.e.
+        // the busier port governs.
+        assert!(a.window() <= b.window());
+        // FIN releases the slot everywhere it was held.
+        a.on_fin(FlowId(1));
+        b.on_fin(FlowId(1));
+        assert_eq!(a.delimiter(), None);
+        assert_eq!(b.delimiter(), None);
+    }
+
+    /// Route repair moves a flow off a port mid-stream: the abandoned
+    /// port's miss timer escalates and reclaims the delimiter within
+    /// the budget, after which a surviving flow is adopted — the slot
+    /// is never leaked to a flow that no longer maps there.
+    #[test]
+    fn migrated_delimiter_is_reclaimed_by_the_miss_timer() {
+        let mut e = engine();
+        e.on_data(&rm_data(1, MSS), Time(0));
+        e.on_data(&rm_data(1, MSS), Time(160_000)); // steady slot
+        // Flow 1 reroutes away; only flow 2's marks still arrive.
+        let armed = Time(160_000);
+        let mut fired = 0;
+        while e.on_miss_timer(armed, Time(armed.nanos() + 1)).is_some() {
+            fired += 1;
+            // While re-arming, the next foreign RM takes over.
+            e.on_data(&rm_data(2, MSS), Time(armed.nanos() + 2));
+            break;
+        }
+        assert!(fired > 0, "miss timer must fire for the moved flow");
+        assert_eq!(e.delimiter(), Some(FlowId(2)));
+    }
+
+    /// Property test for spray/churn: random flows spraying marks over
+    /// random ports of one switch, with random mid-run migrations.
+    /// Invariants at every slot close and at the end of the run: the
+    /// reported E is bounded by the round marks the port actually
+    /// received during the slot (per-port accounting never invents
+    /// consumers), windows never collapse below one byte, and every
+    /// abandoned delimiter is reclaimed within the miss budget.
+    ///
+    /// Audit note: E is *not* bounded by the live flow count — when the
+    /// delimiter migrates away mid-slot the slot stretches and other
+    /// flows mark several times, each counted (the paper's estimator
+    /// assumes path stability). The miss timer bounds how long such an
+    /// inflated slot can last; the over-count itself only makes windows
+    /// conservative (token / E shrinks), never unsafe.
+    #[test]
+    fn spray_and_churn_keep_per_port_accounting_sound() {
+        use rng::Rng as _;
+        rng::props::cases(48, |case, rg| {
+            let n_ports = rg.gen_range(2..5usize);
+            let n_flows = rg.gen_range(2..7u64);
+            let rounds = rg.gen_range(4..12u64);
+            let mut engines: Vec<TokenEngine> = (0..n_ports).map(|_| engine()).collect();
+            // port_of[f] = the flow's current port; churn re-rolls it.
+            let mut port_of: Vec<usize> =
+                (0..n_flows).map(|_| rg.gen_range(0..n_ports)).collect();
+            // Round marks fed to each port since its last slot close.
+            let mut marks = vec![0u64; n_ports];
+            let mut t = 0u64;
+            for round in 0..rounds {
+                for f in 0..n_flows {
+                    if rg.gen_range(0..8u32) == 0 {
+                        // Reroute: the flow migrates to another port.
+                        port_of[f as usize] = rg.gen_range(0..n_ports);
+                    }
+                    t += rg.gen_range(1_000..40_000u64);
+                    let p = port_of[f as usize];
+                    marks[p] += 1;
+                    let report = engines[p].on_data(&rm_data(f, MSS), Time(t));
+                    if let Some(r) = report {
+                        assert!(
+                            r.effective_flows >= 1.0
+                                && r.effective_flows <= marks[p] as f64,
+                            "case {case} round {round}: E {} outside [1, {}]",
+                            r.effective_flows,
+                            marks[p]
+                        );
+                        assert!(r.window_bytes >= 1, "window collapsed");
+                        assert!(r.token_bytes.is_finite() && r.token_bytes > 0.0);
+                        // The closing mark opens the next slot.
+                        marks[p] = 1;
+                    }
+                }
+            }
+            // Reclamation: every port whose delimiter no longer maps to
+            // it clears (or re-adopts) within the miss budget.
+            for (p, e) in engines.iter_mut().enumerate() {
+                let Some(d) = e.delimiter() else { continue };
+                if port_of[d.0 as usize] == p {
+                    continue;
+                }
+                let mut armed = Time(t);
+                let mut fired = 0u32;
+                while let Some(delay) = e.on_miss_timer(armed, Time(armed.nanos() + 1)) {
+                    armed = Time(armed.nanos() + delay.as_nanos());
+                    fired += 1;
+                    assert!(fired <= TfcSwitchConfig::default().max_miss_k, "miss loop leaked");
+                }
+                assert_eq!(e.delimiter(), None, "stale delimiter survived reclamation");
+            }
+        });
+    }
+
     #[test]
     fn non_rm_packets_only_count_arrivals() {
         let mut e = engine();

@@ -8,6 +8,7 @@ pub mod incast;
 pub mod million;
 pub mod ne;
 pub mod proto;
+pub mod reroute;
 pub mod rho;
 pub mod rttb;
 pub mod sweeps;

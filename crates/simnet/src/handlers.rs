@@ -36,7 +36,7 @@ use crate::arena::{PacketArena, PacketId};
 use crate::endpoint::Effects;
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultAction;
-use crate::node::Node;
+use crate::node::{ecmp_select, NextHops, Node};
 use crate::packet::{Flags, FlowId, NodeId};
 use crate::policy::{EgressVerdict, IngressVerdict, PolicyFx};
 use crate::sim::{AppCall, PacketEventKind, SimCore};
@@ -444,7 +444,7 @@ impl SimCore {
             }
         };
         if forward {
-            self.switch_egress(node, pkt, true);
+            self.switch_egress(node, in_port, pkt, true);
         } else {
             // Consumed (e.g. the TFC delay arbiter holds its own copy);
             // the in-fabric slot is done. Not a loss: the span is
@@ -460,19 +460,63 @@ impl SimCore {
 
     /// Routes and enqueues a packet at a switch, optionally running the
     /// egress policy hook (skipped for policy-injected packets).
-    fn switch_egress(&mut self, node: NodeId, pkt: PacketId, run_hook: bool) {
+    ///
+    /// The egress port is the deterministic `(flow, hop)` ECMP choice
+    /// among the equal-cost set, filtered to live ports (route repair:
+    /// surviving members absorb flows whose hashed member died). A
+    /// missing route is a counted drop attributed to `in_port`, not a
+    /// panic — reachable via route surgery or sparse dynamic topologies.
+    fn switch_egress(&mut self, node: NodeId, in_port: usize, pkt: PacketId, run_hook: bool) {
         let now = self.now;
-        let (ce_before, dst) = {
+        let (ce_before, dst, flow, hop) = {
             let p = self.packets.get(pkt);
-            (p.flags.contains(Flags::CE), p.dst)
+            (p.flags.contains(Flags::CE), p.dst, p.flow.0, p.hop)
         };
+        let out = {
+            let Node::Switch(sw) = &self.nodes[node.0 as usize] else {
+                unreachable!()
+            };
+            match sw.routes.next_hops(dst) {
+                NextHops::None => None,
+                NextHops::Single(p) => Some(p as usize),
+                NextHops::Ecmp(set) => {
+                    let ports = &sw.ports;
+                    Some(ecmp_select(set, flow, hop, |p| ports[p as usize].up) as usize)
+                }
+            }
+        };
+        let Some(out) = out else {
+            let (wire, seq) = {
+                let p = self.packets.get(pkt);
+                (p.wire_bytes(), p.seq)
+            };
+            self.nodes[node.0 as usize].port_mut(in_port).no_route_drops += 1;
+            if self.telemetry.log.enabled() {
+                self.telemetry.log.record(
+                    now.nanos(),
+                    TraceEvent::PktDrop {
+                        node: node.0,
+                        port: in_port as u16,
+                        flow,
+                        seq,
+                        bytes: wire,
+                    },
+                );
+            }
+            if self.telemetry.spans.enabled() {
+                self.telemetry.spans.on_drop(pkt.key(), flow);
+            }
+            self.packets.free(pkt);
+            return;
+        };
+        // One more switch hop behind it: the next tier hashes with the
+        // advanced index, so a flow's member choice re-randomises per
+        // tier instead of following one diagonal through the fabric.
+        self.packets.get_mut(pkt).hop = hop.wrapping_add(1);
         let mut fx = PolicyFx::new();
         let enqueue = {
             let Node::Switch(sw) = &mut self.nodes[node.0 as usize] else {
                 unreachable!()
-            };
-            let Some(out) = sw.route(dst) else {
-                panic!("switch {node:?} has no route to {dst:?}");
             };
             let verdict = if run_hook {
                 let qbytes = sw.ports[out].queue.bytes();
@@ -578,9 +622,11 @@ impl SimCore {
             self.trace.record(&key, self.now, value);
         }
         for pkt in fx.inject {
-            // Policy-owned packets (re)enter the fabric here.
+            // Policy-owned packets (re)enter the fabric here; a no-route
+            // drop of one is attributed to port 0 (they have no real
+            // ingress port).
             let pkt = self.packets.alloc(pkt);
-            self.switch_egress(node, pkt, false);
+            self.switch_egress(node, 0, pkt, false);
         }
         for mut sample in fx.slot_samples {
             sample.at_ns = self.now.nanos();
@@ -657,6 +703,41 @@ impl SimCore {
                 }
             };
             self.telemetry.log.record(now.nanos(), ev);
+            if let FaultAction::LinkDown { node, port } = action {
+                self.note_rerouted(node, port);
+            }
+        }
+    }
+
+    /// Records a [`TraceEvent::Rerouted`] for each switch end of the
+    /// link just downed at `node`/`port`: forwarding filters dead ports
+    /// out of every equal-cost set at selection time, so the surviving
+    /// members absorb the affected flows from this instant. `dests`
+    /// counts the destinations the switch can still reach over siblings
+    /// of the dead port (0 on unique-path topologies, where the repair
+    /// has nothing to absorb and packets die at the port instead).
+    fn note_rerouted(&mut self, node: NodeId, port: usize) {
+        let now = self.now;
+        let (peer, peer_port) = {
+            let p = self.nodes[node.0 as usize].port(port);
+            (p.link.peer, p.link.peer_port)
+        };
+        for (sw_id, sw_port) in [(node, port), (peer, peer_port)] {
+            let Node::Switch(sw) = &self.nodes[sw_id.0 as usize] else {
+                continue;
+            };
+            let ports = &sw.ports;
+            let dests = sw
+                .routes
+                .reroutable_dests(sw_port as u16, |p| ports[p as usize].up);
+            self.telemetry.log.record(
+                now.nanos(),
+                TraceEvent::Rerouted {
+                    node: sw_id.0,
+                    port: sw_port as u16,
+                    dests,
+                },
+            );
         }
     }
 

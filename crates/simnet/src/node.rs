@@ -42,6 +42,10 @@ pub struct Port {
     /// Packets lost to faults at this port (dead link, loss window,
     /// stalled host) — separate from the FIFO's overflow drops.
     pub fault_drops: u64,
+    /// Packets that arrived on this port but found no route toward
+    /// their destination at this switch (counted drop, not a panic;
+    /// reachable via route-table surgery or sparse dynamic topologies).
+    pub no_route_drops: u64,
 }
 
 impl Port {
@@ -55,6 +59,7 @@ impl Port {
             up: true,
             loss_permille: 0,
             fault_drops: 0,
+            no_route_drops: 0,
         }
     }
 
@@ -66,6 +71,7 @@ impl Port {
             drops: self.queue.drops(),
             tx_bytes: self.tx_bytes,
             fault_drops: self.fault_drops,
+            no_route_drops: self.no_route_drops,
         }
     }
 }
@@ -85,11 +91,209 @@ pub struct PortStats {
     /// Packets lost to injected faults (dead link, loss window, stalled
     /// host).
     pub fault_drops: u64,
+    /// Packets dropped because the switch had no route toward their
+    /// destination, attributed to the ingress port.
+    pub no_route_drops: u64,
 }
 
-/// Sentinel in a [`Switch::routes`] table: no egress port toward that
+/// Sentinel in a [`RouteTable`] entry row: no egress port toward that
 /// destination (the destination is this switch itself, or not a host).
 pub const NO_ROUTE: u16 = u16::MAX;
+
+/// Tag bit marking a [`RouteTable`] entry as an index into the shared
+/// equal-cost port-set pool rather than a single port number. Port
+/// indices must stay below this (32 767 ports per switch is far beyond
+/// any fabric this workspace builds).
+const ECMP_TAG: u16 = 1 << 15;
+
+/// A multi-next-hop routing table: per destination either a single
+/// egress port or an equal-cost set of them.
+///
+/// The representation stays as compact as the old dense `routes[dst] ->
+/// port` row: one `u16` per destination, where values below [`ECMP_TAG`]
+/// are a single port, [`NO_ROUTE`] means unreachable, and tagged values
+/// index a deduplicated pool of sorted port sets. Fabrics repeat the
+/// same few uplink sets across thousands of destinations (a k-ary
+/// fat-tree edge switch has exactly one distinct uplink set), so the
+/// pool stays tiny and a 10k-host table is still ~22 KB per switch.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// One entry per destination node id.
+    entries: Vec<u16>,
+    /// Deduplicated equal-cost port sets, each sorted ascending.
+    sets: Vec<Vec<u16>>,
+}
+
+/// Next-hop candidates for one destination (see [`RouteTable::next_hops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextHops<'a> {
+    /// No route: the destination is this switch itself, not a host, or
+    /// the entry was cleared by route surgery.
+    None,
+    /// A unique shortest path.
+    Single(u16),
+    /// Several equal-cost egress ports, sorted ascending. Always at
+    /// least two entries.
+    Ecmp(&'a [u16]),
+}
+
+impl NextHops<'_> {
+    /// The candidate ports as a slice (empty for [`NextHops::None`]).
+    /// `Single` borrows the table's pool-free fast path via the caller:
+    /// use [`RouteTable::next_hops`] + pattern matching on hot paths.
+    pub fn len(&self) -> usize {
+        match self {
+            NextHops::None => 0,
+            NextHops::Single(_) => 1,
+            NextHops::Ecmp(s) => s.len(),
+        }
+    }
+
+    /// Whether there is no candidate at all.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, NextHops::None)
+    }
+}
+
+impl RouteTable {
+    /// An all-[`NO_ROUTE`] table over `n` destinations.
+    pub fn unreachable(n: usize) -> Self {
+        Self {
+            entries: vec![NO_ROUTE; n],
+            sets: Vec::new(),
+        }
+    }
+
+    /// Builds a table from an explicit entry row (single ports and
+    /// [`NO_ROUTE`] only) — the pre-multipath construction, kept for
+    /// tests and hand-built switches.
+    pub fn from_single(entries: Vec<u16>) -> Self {
+        assert!(
+            entries.iter().all(|&e| e == NO_ROUTE || e < ECMP_TAG),
+            "single-port entries must stay below the ECMP tag bit"
+        );
+        Self {
+            entries,
+            sets: Vec::new(),
+        }
+    }
+
+    /// Sets the equal-cost next hops toward `dst`. `ports` must be
+    /// sorted ascending and duplicate-free; empty clears the entry back
+    /// to [`NO_ROUTE`]. Multi-port sets are deduplicated into the pool.
+    pub fn set(&mut self, dst: usize, ports: &[u16]) {
+        if self.entries.len() <= dst {
+            self.entries.resize(dst + 1, NO_ROUTE);
+        }
+        self.entries[dst] = match ports {
+            [] => NO_ROUTE,
+            &[p] => {
+                assert!(p < ECMP_TAG, "port index {p} collides with the ECMP tag");
+                p
+            }
+            many => {
+                debug_assert!(many.windows(2).all(|w| w[0] < w[1]), "ports must be sorted+unique");
+                assert!(*many.last().unwrap() < ECMP_TAG, "port index collides with the ECMP tag");
+                // Linear pool scan: distinct sets per switch are few (a
+                // fat-tree switch has a handful), and scan order is
+                // deterministic.
+                let idx = self
+                    .sets
+                    .iter()
+                    .position(|s| s == many)
+                    .unwrap_or_else(|| {
+                        self.sets.push(many.to_vec());
+                        self.sets.len() - 1
+                    });
+                assert!(
+                    idx < (NO_ROUTE ^ ECMP_TAG) as usize,
+                    "equal-cost set pool exceeds the tagged index range"
+                );
+                ECMP_TAG | idx as u16
+            }
+        };
+    }
+
+    /// The next-hop candidates toward `dst`.
+    pub fn next_hops(&self, dst: NodeId) -> NextHops<'_> {
+        match self.entries.get(dst.0 as usize) {
+            None => NextHops::None,
+            Some(&e) if e == NO_ROUTE => NextHops::None,
+            Some(&e) if e & ECMP_TAG == 0 => NextHops::Single(e),
+            Some(&e) => NextHops::Ecmp(&self.sets[(e ^ ECMP_TAG) as usize]),
+        }
+    }
+
+    /// The deterministic primary next hop (lowest equal-cost port) — the
+    /// pre-multipath `route()` semantics, used by control-plane lookups
+    /// that need *a* port rather than the per-packet hash choice.
+    pub fn primary(&self, dst: NodeId) -> Option<usize> {
+        match self.next_hops(dst) {
+            NextHops::None => None,
+            NextHops::Single(p) => Some(p as usize),
+            NextHops::Ecmp(set) => Some(set[0] as usize),
+        }
+    }
+
+    /// Number of destinations whose equal-cost set contains `port`
+    /// alongside at least one surviving member for which `alive` holds —
+    /// i.e. how many destinations a failure of `port` can deterministically
+    /// re-absorb onto siblings (the `Rerouted` telemetry payload).
+    pub fn reroutable_dests(&self, port: u16, mut alive: impl FnMut(u16) -> bool) -> u64 {
+        let mut per_set = vec![0u64; self.sets.len()];
+        let mut hits = 0u64;
+        for (i, s) in self.sets.iter().enumerate() {
+            if s.contains(&port) && s.iter().any(|&p| p != port && alive(p)) {
+                per_set[i] = 1;
+            }
+        }
+        for &e in &self.entries {
+            if e != NO_ROUTE && e & ECMP_TAG != 0 {
+                hits += per_set[(e ^ ECMP_TAG) as usize];
+            }
+        }
+        hits
+    }
+
+    /// Number of destination entries (reachable ones).
+    pub fn reachable_dests(&self) -> usize {
+        self.entries.iter().filter(|&&e| e != NO_ROUTE).count()
+    }
+}
+
+/// Deterministic, seed-stable ECMP hash over `(flow, hop)`: one
+/// splitmix64 avalanche round. The choice of equal-cost member is a
+/// pure function of the flow id and the packet's switch-hop index — it
+/// never consumes a simulator RNG stream (which would perturb unrelated
+/// draws) and never depends on the run seed or scheduler backend, so
+/// routing is a property of the topology and workload alone.
+pub fn ecmp_hash(flow: u64, hop: u8) -> u64 {
+    rng::mix64(flow ^ ((hop as u64) << 56) ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Picks the equal-cost member for `(flow, hop)` among `set`, skipping
+/// ports for which `up` is false (deterministic route repair: surviving
+/// members absorb the flow). When every member is down the hash choice
+/// over the full set is returned, so the packet dies at the dead port
+/// with ordinary fault accounting rather than vanishing routeless.
+pub fn ecmp_select(set: &[u16], flow: u64, hop: u8, mut up: impl FnMut(u16) -> bool) -> u16 {
+    debug_assert!(!set.is_empty());
+    let h = ecmp_hash(flow, hop);
+    let live = set.iter().filter(|&&p| up(p)).count();
+    if live == 0 {
+        return set[(h % set.len() as u64) as usize];
+    }
+    let mut pick = (h % live as u64) as usize;
+    for &p in set {
+        if up(p) {
+            if pick == 0 {
+                return p;
+            }
+            pick -= 1;
+        }
+    }
+    unreachable!("live member count changed mid-scan")
+}
 
 /// A switch: ports, a routing table, and a packet-processing policy.
 pub struct Switch {
@@ -97,22 +301,18 @@ pub struct Switch {
     pub id: NodeId,
     /// Ports in index order.
     pub ports: Vec<Port>,
-    /// `routes[dst.0]` is the egress port toward host `dst`, or
-    /// [`NO_ROUTE`]. Dense `u16` entries keep fabric-scale tables small:
-    /// a 10k-host fat-tree's per-switch table is ~22 KB instead of the
-    /// ~176 KB an `Option<usize>` row costs.
-    pub routes: Vec<u16>,
+    /// Multi-next-hop routing table indexed by destination node id.
+    pub routes: RouteTable,
     /// Packet-processing policy (drop-tail, ECN, TFC, ...).
     pub policy: Box<dyn SwitchPolicy>,
 }
 
 impl Switch {
-    /// Looks up the egress port for a destination host.
+    /// Looks up the deterministic primary egress port for a destination
+    /// host (lowest equal-cost member). Per-packet forwarding uses the
+    /// ECMP hash instead; this is the control-plane view.
     pub fn route(&self, dst: NodeId) -> Option<usize> {
-        match self.routes.get(dst.0 as usize) {
-            Some(&p) if p != NO_ROUTE => Some(p as usize),
-            _ => None,
-        }
+        self.routes.primary(dst)
     }
 
     /// Total drops across all port FIFOs.
@@ -225,7 +425,7 @@ mod tests {
         Switch {
             id: NodeId(0),
             ports: vec![Port::new(link(1), 1_000), Port::new(link(2), 1_000)],
-            routes: vec![NO_ROUTE, 0, 1],
+            routes: RouteTable::from_single(vec![NO_ROUTE, 0, 1]),
             policy: Box::new(DropTail),
         }
     }
@@ -237,6 +437,119 @@ mod tests {
         assert_eq!(sw.route(NodeId(2)), Some(1));
         assert_eq!(sw.route(NodeId(0)), None);
         assert_eq!(sw.route(NodeId(99)), None, "out-of-range dst");
+    }
+
+    #[test]
+    fn route_table_single_and_ecmp_entries() {
+        let mut rt = RouteTable::unreachable(4);
+        rt.set(0, &[3]);
+        rt.set(1, &[1, 2]);
+        rt.set(2, &[1, 2]);
+        rt.set(3, &[]);
+        assert_eq!(rt.next_hops(NodeId(0)), NextHops::Single(3));
+        assert_eq!(rt.next_hops(NodeId(1)), NextHops::Ecmp(&[1, 2]));
+        assert_eq!(rt.next_hops(NodeId(3)), NextHops::None);
+        assert_eq!(rt.next_hops(NodeId(9)), NextHops::None, "out of range");
+        assert_eq!(rt.primary(NodeId(1)), Some(1), "lowest equal-cost member");
+        assert_eq!(rt.reachable_dests(), 3);
+        // Identical sets share one pool slot.
+        assert_eq!(rt.sets.len(), 1);
+        // Clearing an entry restores NO_ROUTE.
+        rt.set(0, &[]);
+        assert_eq!(rt.next_hops(NodeId(0)), NextHops::None);
+        assert_eq!(NextHops::Ecmp(&[1, 2]).len(), 2);
+        assert!(NextHops::None.is_empty());
+    }
+
+    #[test]
+    fn ecmp_select_skips_dead_members_deterministically() {
+        let set = [1u16, 2, 4];
+        // All up: the hash picks a member, and the same (flow, hop)
+        // always picks the same one.
+        let all = ecmp_select(&set, 77, 1, |_| true);
+        assert_eq!(all, ecmp_select(&set, 77, 1, |_| true));
+        assert!(set.contains(&all));
+        // The chosen member dies: the survivors absorb the flow.
+        let repaired = ecmp_select(&set, 77, 1, |p| p != all);
+        assert_ne!(repaired, all);
+        assert!(set.contains(&repaired));
+        // Everything dead: fall back to the full-set hash choice so the
+        // packet dies at a port (fault accounting), not routeless.
+        assert_eq!(ecmp_select(&set, 77, 1, |_| false), all);
+        // Different hops may choose differently, but always in-set.
+        for hop in 0..32 {
+            assert!(set.contains(&ecmp_select(&set, 77, hop, |_| true)));
+        }
+    }
+
+    /// The ECMP hash must be a pure function of `(flow, hop)` — pinned
+    /// snapshot values guard against anyone threading run state (seed,
+    /// scheduler backend, RNG stream) into it, which would break the
+    /// byte-identical-across-backends invariant.
+    #[test]
+    fn ecmp_hash_is_seed_and_backend_invariant() {
+        assert_eq!(ecmp_hash(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(ecmp_hash(1, 0), 0xE4D9_7177_1B65_2C20);
+        assert_eq!(ecmp_hash(42, 3), 0xF233_BCCD_7833_EFFF);
+        assert_eq!(ecmp_hash(u64::MAX, 255), 0x5397_F91F_55DC_5A88);
+        // mix64 of flow 0 at hop 0 is exactly splitmix64's first output
+        // for seed 0 — the hash is one avalanche round, nothing more.
+        assert_eq!(ecmp_hash(0, 0), rng::mix64(0x9E37_79B9_7F4A_7C15));
+    }
+
+    /// Chi-square goodness of fit: member choice across many flows (and
+    /// across a flow's hops) is close to uniform for every set size we
+    /// care about. The hash is deterministic, so these statistics are
+    /// fixed numbers — the thresholds are the 99.9% critical values,
+    /// with slack.
+    #[test]
+    fn ecmp_hash_spreads_uniformly() {
+        let chi2 = |counts: &[u64]| {
+            let n: u64 = counts.iter().sum();
+            let exp = n as f64 / counts.len() as f64;
+            counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - exp;
+                    d * d / exp
+                })
+                .sum::<f64>()
+        };
+        // Across flows, for every realistic set size (df = m-1 <= 7,
+        // 99.9% critical value <= 24.3).
+        for m in [2usize, 3, 4, 8] {
+            let set: Vec<u16> = (0..m as u16).collect();
+            let mut counts = vec![0u64; m];
+            for flow in 0..8192u64 {
+                counts[ecmp_select(&set, flow, 2, |_| true) as usize] += 1;
+            }
+            let c = chi2(&counts);
+            assert!(c < 25.0, "m={m} chi2={c} counts={counts:?}");
+        }
+        // Across hops for a single flow: later tiers re-randomise
+        // instead of tracing one diagonal through the fabric.
+        let set = [0u16, 1, 2, 3];
+        let mut counts = [0u64; 4];
+        for hop in 0..=255u8 {
+            counts[ecmp_select(&set, 12345, hop, |_| true) as usize] += 1;
+        }
+        let c = chi2(&counts);
+        assert!(c < 17.0, "per-hop chi2={c} counts={counts:?}");
+    }
+
+    #[test]
+    fn reroutable_dests_counts_sets_with_survivors() {
+        let mut rt = RouteTable::unreachable(6);
+        rt.set(0, &[0]); // single: never reroutable
+        rt.set(1, &[1, 2]);
+        rt.set(2, &[1, 2]);
+        rt.set(3, &[2, 3]);
+        // Port 2 dies: dsts 1,2 fall back to port 1; dst 3 to port 3.
+        assert_eq!(rt.reroutable_dests(2, |_| true), 3);
+        // Port 2 dies while port 1 is already down: only dst 3 survives.
+        assert_eq!(rt.reroutable_dests(2, |p| p != 1), 1);
+        // A port no set contains reroutes nothing.
+        assert_eq!(rt.reroutable_dests(0, |_| true), 0);
     }
 
     #[test]

@@ -148,6 +148,11 @@ pub struct Packet {
     /// §4.1 notes tokens may be split "according to any allocation
     /// policies"). Default 1 = plain fair share.
     pub weight: u8,
+    /// Switch hops traversed so far (incremented at each switch egress).
+    /// Feeds the deterministic ECMP hash `(flow, hop)` so a flow's
+    /// next-hop choice is independent at every tier of a multipath
+    /// fabric; wraps at 256, far beyond any sane path length.
+    pub hop: u8,
     /// Time the packet left its originating host (for diagnostics).
     pub sent_at: Time,
 }
@@ -176,6 +181,7 @@ impl Clone for Packet {
             flags: self.flags,
             window: self.window,
             weight: self.weight,
+            hop: self.hop,
             sent_at: self.sent_at,
         }
     }
@@ -194,6 +200,7 @@ impl Packet {
             flags: Flags::default(),
             window: WINDOW_INIT,
             weight: 1,
+            hop: 0,
             sent_at: Time::ZERO,
         }
     }
@@ -210,6 +217,7 @@ impl Packet {
             flags: Flags::ACK,
             window: WINDOW_INIT,
             weight: 1,
+            hop: 0,
             sent_at: Time::ZERO,
         }
     }

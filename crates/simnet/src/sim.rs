@@ -496,7 +496,9 @@ impl SimCore {
         sw.ports[port].stats()
     }
 
-    /// Egress port of `switch` toward host `dst`.
+    /// Egress port of `switch` toward host `dst`: the deterministic
+    /// primary (lowest equal-cost member). Per-packet forwarding hashes
+    /// across the full set; see [`next_hops_of`](Self::next_hops_of).
     ///
     /// # Panics
     ///
@@ -506,6 +508,48 @@ impl SimCore {
             panic!("{switch:?} is not a switch");
         };
         sw.route(dst)
+    }
+
+    /// All equal-cost egress ports of `switch` toward host `dst`
+    /// (ascending; empty when unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is not a switch.
+    pub fn next_hops_of(&self, switch: NodeId, dst: NodeId) -> Vec<usize> {
+        let Node::Switch(sw) = &self.nodes[switch.0 as usize] else {
+            panic!("{switch:?} is not a switch");
+        };
+        match sw.routes.next_hops(dst) {
+            crate::node::NextHops::None => Vec::new(),
+            crate::node::NextHops::Single(p) => vec![p as usize],
+            crate::node::NextHops::Ecmp(set) => set.iter().map(|&p| p as usize).collect(),
+        }
+    }
+
+    /// Route surgery: overwrites the equal-cost next hops of `switch`
+    /// toward `dst` (`ports` ascending and duplicate-free; empty makes
+    /// `dst` unreachable there, turning packets into counted
+    /// `no_route_drops`). Built topologies are always validated
+    /// connected, so this is how tests and dynamic-fabric experiments
+    /// create sparse tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is not a switch or a port index is out of
+    /// range.
+    pub fn set_next_hops(&mut self, switch: NodeId, dst: NodeId, ports: &[usize]) {
+        let Node::Switch(sw) = &mut self.nodes[switch.0 as usize] else {
+            panic!("{switch:?} is not a switch");
+        };
+        let ports: Vec<u16> = ports
+            .iter()
+            .map(|&p| {
+                assert!(p < sw.ports.len(), "port {p} out of range at {switch:?}");
+                p as u16
+            })
+            .collect();
+        sw.routes.set(dst.0 as usize, &ports);
     }
 
     /// Number of events processed so far.

@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use crate::node::{Host, Node, Port, PortLink, Switch, NO_ROUTE};
+use crate::node::{Host, Node, Port, PortLink, RouteTable, Switch};
 use crate::packet::NodeId;
 use crate::policy::{DropTail, SwitchPolicy};
 use crate::units::{Bandwidth, Dur};
@@ -202,10 +202,16 @@ impl TopologyBuilder {
     /// `make_policy`, which receives the switch id and its port links
     /// (index order) so per-port engines can size themselves.
     ///
-    /// Routing is shortest-path (hop count) with deterministic tie-breaks
-    /// (lowest next-hop node id). Paths are unique in every tree topology
-    /// this workspace uses, so forward and reverse paths coincide — a
-    /// property TFC's ACK delay arbiter relies on.
+    /// Routing is shortest-path (hop count) keeping *every* equal-cost
+    /// next hop: each switch's [`RouteTable`] entry holds the full
+    /// sorted port set, and forwarding picks a member per packet with
+    /// the deterministic `(flow, hop)` ECMP hash
+    /// ([`crate::node::ecmp_select`]). In tree topologies shortest
+    /// paths are unique, every entry degenerates to a single port, and
+    /// forward/reverse paths coincide — the symmetry TFC's ACK delay
+    /// arbiter relies on. Multipath fabrics (fat-trees) expose all
+    /// their uplinks and trade that symmetry away deliberately; see
+    /// DESIGN.md §14.
     ///
     /// # Panics
     ///
@@ -293,22 +299,24 @@ impl TopologyBuilder {
             })
             .collect();
         // Only switches route; hosts have a single NIC. Dense u16 port
-        // tables keep fabric-scale builds (10k-host fat-trees) in tens
-        // of megabytes instead of gigabytes.
-        let mut routes: Vec<Vec<u16>> = self
+        // entries keep fabric-scale builds (10k-host fat-trees) in tens
+        // of megabytes instead of gigabytes; equal-cost sets live in a
+        // small deduplicated pool per switch.
+        let mut routes: Vec<RouteTable> = self
             .kinds
             .iter()
             .map(|k| match k {
-                NodeKind::Switch => vec![NO_ROUTE; n],
-                NodeKind::Host => Vec::new(),
+                NodeKind::Switch => RouteTable::unreachable(n),
+                NodeKind::Host => RouteTable::default(),
             })
             .collect();
         for ps in &ports {
             assert!(
-                ps.len() < NO_ROUTE as usize,
-                "per-node port count exceeds the u16 route-table range"
+                ps.len() < (1usize << 15),
+                "per-node port count exceeds the tagged u16 route-table range"
             );
         }
+        let mut next_hops: Vec<u16> = Vec::new();
         for dst in 0..n {
             if self.kinds[dst] != NodeKind::Host {
                 continue;
@@ -343,16 +351,18 @@ impl TopologyBuilder {
                 if self.kinds[v] != NodeKind::Switch {
                     continue;
                 }
-                // Lowest-peer-id tie-break for determinism.
-                let mut best: Option<(NodeId, usize)> = None;
+                // Every equal-cost parent joins the set: fat-trees
+                // expose all their uplinks instead of concentrating on
+                // the lowest-id core. Adjacency is walked in port-index
+                // order, so the set arrives sorted and deterministic.
+                next_hops.clear();
                 for &(peer, port) in &adjacency[v] {
-                    if dist[peer.0 as usize] == dist[v] - 1 && best.is_none_or(|(bp, _)| peer < bp)
-                    {
-                        best = Some((peer, port));
+                    if dist[peer.0 as usize] == dist[v] - 1 {
+                        next_hops.push(port as u16);
                     }
                 }
-                let (_, port) = best.expect("BFS-reached node has a parent toward dst");
-                routes[v][dst] = port as u16;
+                debug_assert!(!next_hops.is_empty(), "BFS-reached node has a parent toward dst");
+                routes[v].set(dst, &next_hops);
             }
         }
 
@@ -487,10 +497,11 @@ pub fn leaf_spine(
 /// run at `fabric_rate`.
 ///
 /// Returns `(builder, hosts, switches)`; `switches` lists cores first,
-/// then per-pod aggregation then edge switches. Routing is the builder's
-/// deterministic shortest-path with lowest-id tie-breaks, i.e. a single
-/// path per pair (no ECMP spraying yet) — inter-pod traffic concentrates
-/// on the lowest-id core reachable from each source aggregation switch.
+/// then per-pod aggregation then edge switches. Routing keeps every
+/// equal-cost next hop: an edge switch's entry for an out-of-pod host
+/// holds all `k/2` uplinks, an aggregation switch's all `k/2` of its
+/// core group, and forwarding sprays packets across them with the
+/// deterministic `(flow, hop)` ECMP hash.
 ///
 /// # Panics
 ///
@@ -775,6 +786,90 @@ mod tests {
             };
             h2.nic.link.peer
         });
+    }
+
+    /// Fat-tree ECMP invariants: every equal-cost uplink is present in
+    /// the route tables (an edge switch's entry for an out-of-pod host
+    /// holds all `k/2` uplinks; an aggregation switch's all `k/2` cores
+    /// of its group), and following *any* member of any entry makes
+    /// strict progress toward the destination — no forwarding loop is
+    /// reachable on any src/dst pair no matter which members the hash
+    /// picks.
+    #[test]
+    fn fat_tree_ecmp_route_invariants() {
+        let k = 4;
+        let (t, hosts, switches) =
+            fat_tree(k, Bandwidth::gbps(1), Bandwidth::gbps(10), Dur::micros(2));
+        let net = t.build_drop_tail();
+        let n = net.nodes.len();
+        // Independent distance oracle: BFS from each host over the
+        // undirected port graph.
+        let peers = |v: usize| -> Vec<usize> {
+            match &net.nodes[v] {
+                Node::Host(h) => vec![h.nic.link.peer.0 as usize],
+                Node::Switch(s) => s.ports.iter().map(|p| p.link.peer.0 as usize).collect(),
+            }
+        };
+        for &dst in &hosts {
+            let mut dist = vec![u32::MAX; n];
+            dist[dst.0 as usize] = 0;
+            let mut q = std::collections::VecDeque::from([dst.0 as usize]);
+            while let Some(v) = q.pop_front() {
+                for p in peers(v) {
+                    if dist[p] == u32::MAX {
+                        dist[p] = dist[v] + 1;
+                        q.push_back(p);
+                    }
+                }
+            }
+            for &swid in &switches {
+                if dist[swid.0 as usize] == 0 {
+                    continue;
+                }
+                let Node::Switch(ref sw) = net.nodes[swid.0 as usize] else {
+                    panic!()
+                };
+                let members: Vec<usize> = match sw.routes.next_hops(dst) {
+                    crate::node::NextHops::None => panic!("unreachable {dst:?} from {swid:?}"),
+                    crate::node::NextHops::Single(p) => vec![p as usize],
+                    crate::node::NextHops::Ecmp(set) => set.iter().map(|&p| p as usize).collect(),
+                };
+                // Every member steps strictly closer (no loops on any
+                // member choice), and every port that steps closer is a
+                // member (no equal-cost uplink missing).
+                let closer: Vec<usize> = (0..sw.ports.len())
+                    .filter(|&p| {
+                        dist[sw.ports[p].link.peer.0 as usize] + 1 == dist[swid.0 as usize]
+                    })
+                    .collect();
+                assert_eq!(members, closer, "switch {swid:?} toward {dst:?}");
+            }
+        }
+        // Spot-check the multipath widths the tentpole is about: an
+        // edge switch spreads out-of-pod traffic over all k/2 uplinks,
+        // an aggregation switch over its k/2 cores.
+        let Node::Host(ref h0) = net.nodes[hosts[0].0 as usize] else {
+            panic!()
+        };
+        let edge0 = h0.nic.link.peer;
+        let far = *hosts.last().unwrap(); // different pod
+        let Node::Switch(ref e0) = net.nodes[edge0.0 as usize] else {
+            panic!()
+        };
+        let up = match e0.routes.next_hops(far) {
+            crate::node::NextHops::Ecmp(set) => set.to_vec(),
+            other => panic!("expected ECMP uplinks, got {other:?}"),
+        };
+        assert_eq!(up.len(), k / 2, "edge uplink fan-out");
+        let agg = e0.ports[up[0] as usize].link.peer;
+        let Node::Switch(ref a0) = net.nodes[agg.0 as usize] else {
+            panic!()
+        };
+        let cores = match a0.routes.next_hops(far) {
+            crate::node::NextHops::Ecmp(set) => set.to_vec(),
+            other => panic!("expected ECMP core ports, got {other:?}"),
+        };
+        assert_eq!(cores.len(), k / 2, "aggregation core fan-out");
     }
 
     #[test]

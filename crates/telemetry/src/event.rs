@@ -17,7 +17,7 @@ use rng::rngs::StdRng;
 use rng::{Rng, SeedableRng};
 
 /// Number of distinct [`TraceEvent`] kinds.
-pub const EVENT_KIND_COUNT: usize = 16;
+pub const EVENT_KIND_COUNT: usize = 17;
 
 /// Kind names, indexed by [`TraceEvent::kind_index`]. These are the
 /// `kind` strings written to `events.json` and the keys of the exported
@@ -39,6 +39,7 @@ pub const EVENT_KIND_NAMES: [&str; EVENT_KIND_COUNT] = [
     "flow_rtt_sample",
     "fault_injected",
     "fault_cleared",
+    "rerouted",
 ];
 
 /// One structured telemetry event.
@@ -201,6 +202,20 @@ pub enum TraceEvent {
         /// Kind-specific magnitude (see [`TraceEvent::FaultInjected`]).
         value: u64,
     },
+    /// A link-down made surviving equal-cost members absorb traffic at a
+    /// switch: deterministic ECMP route repair took effect. Emitted once
+    /// per switch end of the downed link, right after its
+    /// [`TraceEvent::FaultInjected`] record.
+    Rerouted {
+        /// The switch whose route table is affected.
+        node: u32,
+        /// The downed port at that switch.
+        port: u16,
+        /// Destinations whose equal-cost set contains the port alongside
+        /// at least one surviving member (0 = nothing to absorb, e.g. a
+        /// tree link with a unique path).
+        dests: u64,
+    },
 }
 
 impl TraceEvent {
@@ -223,6 +238,7 @@ impl TraceEvent {
             TraceEvent::FlowRttSample { .. } => 13,
             TraceEvent::FaultInjected { .. } => 14,
             TraceEvent::FaultCleared { .. } => 15,
+            TraceEvent::Rerouted { .. } => 16,
         }
     }
 
@@ -254,7 +270,9 @@ impl TraceEvent {
             | TraceEvent::FlowRto { flow }
             | TraceEvent::FlowFin { flow, .. }
             | TraceEvent::FlowRttSample { flow, .. } => flow,
-            TraceEvent::FaultInjected { .. } | TraceEvent::FaultCleared { .. } => 0,
+            TraceEvent::FaultInjected { .. }
+            | TraceEvent::FaultCleared { .. }
+            | TraceEvent::Rerouted { .. } => 0,
         }
     }
 }
@@ -477,13 +495,18 @@ mod tests {
                 port: 2,
                 value: 0,
             },
+            TraceEvent::Rerouted {
+                node: 9,
+                port: 2,
+                dests: 12,
+            },
         ];
         assert_eq!(samples.len(), EVENT_KIND_COUNT);
         for (i, ev) in samples.iter().enumerate() {
             assert_eq!(ev.kind_index(), i);
             assert_eq!(ev.kind_name(), EVENT_KIND_NAMES[i]);
-            // Fault events carry no flow; everything else was built with
-            // flow 1.
+            // Fault and reroute events carry no flow; everything else
+            // was built with flow 1.
             assert_eq!(ev.flow(), if i < 14 { 1 } else { 0 });
             assert_eq!(ev.is_packet(), i <= 6);
         }

@@ -310,6 +310,11 @@ pub fn record_json(r: &EventRecord) -> Value {
             put("port", port.into());
             put("value", value.into());
         }
+        TraceEvent::Rerouted { node, port, dests } => {
+            put("node", node.into());
+            put("port", port.into());
+            put("dests", dests.into());
+        }
     }
     Value::Object(m)
 }

@@ -22,9 +22,15 @@ cargo test -q -p tfc-repro --test telemetry
 # export byte-identical artifacts — including the open-loop streaming
 # scenario, where flow retirement recycles ids mid-run and same-seed
 # re-runs (heap and sharded@4) must reproduce the whole bundle byte
-# for byte. (Also part of the workspace suite above; run explicitly so
-# a failure names the gate.)
+# for byte, and the ECMP+churn fat-tree scenario, where multipath spray
+# and selection-time reroute must not leak the backend or thread count
+# into a single artifact byte. (Also part of the workspace suite above;
+# run explicitly so a failure names the gate.)
 cargo test -q -p tfc-repro --test sched_equivalence
+
+# Multipath regression: ECMP spray, counted no-route drops, and
+# link-down reroute onto surviving equal-cost members.
+cargo test -q -p tfc-repro --test ecmp
 
 # tfc-trace must summarize a smoke-run artifact bundle from the files
 # alone (exported into a scratch dir so committed results/ stay put).
@@ -42,6 +48,13 @@ TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-flap" | grep "tokens reclaimed" >/dev/null
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- "$TRACE_DIR/smoke-chaos-stall" | grep "fault windows:" >/dev/null
 
+# ECMP smoke: a fixed-seed multipath reroute run (k=4 fat-tree, edge
+# uplink flap) exports artifacts, and tfc-trace renders the per-port
+# spray balance plus the selection-time reroute records from them.
+TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-trace -- --ecmp-smoke | tee "$TRACE_DIR/ecmpsmoke.out" >/dev/null
+grep "per-port spray balance" "$TRACE_DIR/ecmpsmoke.out" >/dev/null
+grep "reroutes (selection-time ECMP repair):" "$TRACE_DIR/ecmpsmoke.out" >/dev/null
+
 # Zero-overhead tracing gate: TraceConfig::Off must record nothing and
 # leave artifacts byte-identical to a traced run's non-span files.
 cargo test -q -p tfc-repro --test spans
@@ -54,12 +67,15 @@ grep "first divergence" "$TRACE_DIR/diffsmoke.out" >/dev/null
 
 # Scale-bench smoke: the quick suite must run all six scheduling
 # variants (heap, wheel, wheel+batching, sharded at 1/2/4 threads) to
-# identical outcomes — including the fat-tree scenario — and write a
-# well-formed BENCH_scale.json (schema key, non-zero events/sec — the
-# binary itself asserts positivity and outcome identity).
+# identical outcomes — including the fat-tree and ECMP-multipath
+# scenarios — and write a well-formed BENCH_scale.json (schema key,
+# host-parallelism manifest, non-zero events/sec — the binary itself
+# asserts positivity and outcome identity).
 TFC_RESULTS_DIR="$TRACE_DIR" cargo run --release -q -p tfc-bench --bin tfc-scale-bench -- --quick >/dev/null
 test -s "$TRACE_DIR/bench/BENCH_scale.json"
-grep '"schema": "tfc-bench-scale/v5"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v6"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"available_parallelism"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"active_threads"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"heap_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_nobatch_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"wheel_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
@@ -67,6 +83,7 @@ grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"sharded4_events_per_sec"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"sharded_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"name": "fat_tree"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"name": "fat_tree_multipath"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 
 # Sharded-determinism gate: two same-seed 4-thread sharded chaos
 # leaf-spine runs (full telemetry, profiling off) must export
@@ -86,7 +103,7 @@ grep '"slab_capacity"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"oracle_classes_checked"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 # The scale-bench rows must survive the merge (and vice versa: a
 # re-run of scale-bench preserves the million block).
-grep '"schema": "tfc-bench-scale/v5"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
+grep '"schema": "tfc-bench-scale/v6"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 grep '"batch_speedup"' "$TRACE_DIR/bench/BENCH_scale.json" >/dev/null
 
 # tfc-trace --flows: the per-class retired table must render from the

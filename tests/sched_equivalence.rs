@@ -3,9 +3,11 @@
 //! backend at 1, 2, and 4 worker threads must all reproduce the
 //! reference binary-heap backend *byte for byte*.
 //!
-//! Three deterministic scenarios — a figure-style incast, a chaos
-//! fault timeline on a leaf-spine, and an open-loop streaming run with
-//! flow retirement — run once per variant, exporting the full artifact
+//! Four deterministic scenarios — a figure-style incast, a chaos
+//! fault timeline on a leaf-spine, an open-loop streaming run with
+//! flow retirement, and an ECMP fat-tree with link churn (multipath
+//! spray plus selection-time reroute) — run once per variant,
+//! exporting the full artifact
 //! bundle (manifest, counters, events, flows, TFC slot gauges,
 //! lifecycle-span sketches). Every exported file except the manifest
 //! must be byte-identical across all variants: the wheel is a pure
@@ -39,7 +41,7 @@ use simnet::app::NullApp;
 use simnet::endpoint::FlowSpec;
 use simnet::retire::RetireConfig;
 use simnet::sim::{SimConfig, Simulator};
-use simnet::topology::{leaf_spine, star};
+use simnet::topology::{fat_tree, leaf_spine, star};
 use simnet::units::{Bandwidth, Dur, Time};
 use simnet::SchedulerKind;
 use telemetry::{LogMode, TelemetryConfig};
@@ -236,6 +238,53 @@ fn run_stream(v: Variant) {
     maybe_export(sim.core(), "leaf_spine(3x4)", "sched-equivalence stream");
 }
 
+/// ECMP fat-tree under route churn: cross-pod flows spray over the
+/// k/2-way equal-cost route sets while an edge uplink flaps down and
+/// back twice. Next-hop choice is the pure `(flow, hop)` hash and the
+/// reroute filter reads only port liveness, so neither the backend nor
+/// the worker count may leak into a single artifact byte — this is the
+/// gate that proves route churn does not break sharded lookahead
+/// determinism.
+fn run_ecmp(v: Variant) {
+    let (t, hosts, switches) = fat_tree(
+        4,
+        Bandwidth::gbps(1),
+        Bandwidth::gbps(10),
+        Dur::micros(20),
+    );
+    let net = t.build(TfcSwitchPolicy::factory(TfcSwitchConfig::default()));
+    let mut sim = Simulator::new(
+        net,
+        Box::new(TfcStack::default()),
+        NullApp,
+        SimConfig {
+            seed: 31,
+            end: Some(Time(Dur::millis(40).as_nanos())),
+            telemetry: telemetry("equiv_ecmp"),
+            scheduler: v.kind,
+            coalesce: v.coalesce,
+            ..Default::default()
+        },
+    );
+    // Cross-pod pairs so every path climbs to the core and back: each
+    // flow hashes onto one of the 2 uplinks / 2 core members per hop.
+    for i in 0..12usize {
+        let src = hosts[i];
+        let dst = hosts[(i + hosts.len() / 2) % hosts.len()];
+        sim.core_mut()
+            .start_flow(FlowSpec::sized(src, dst, 48_000 + 750 * i as u64));
+    }
+    // switches = 4 cores, then per pod [agg, agg, edge, edge]; pod 0's
+    // first edge is switches[6] and its ports 0..1 are the agg uplinks.
+    let edge0 = switches[6];
+    FaultTimeline::new()
+        .link_flap(Time(3_000_000), Dur::millis(2), edge0, 0)
+        .link_flap(Time(12_000_000), Dur::millis(1), edge0, 1)
+        .install(sim.core_mut());
+    sim.run();
+    maybe_export(sim.core(), "fat_tree(4)", "sched-equivalence ecmp churn");
+}
+
 fn read(dir: &Path, run: &str, file: &str) -> Vec<u8> {
     let p = dir.join(run).join(file);
     std::fs::read(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
@@ -304,6 +353,7 @@ fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
         run_incast(v);
         run_chaos(v);
         run_stream(v);
+        run_ecmp(v);
         dir
     };
     let dirs: Vec<PathBuf> = VARIANTS.iter().map(|&v| dir_of(v)).collect();
@@ -341,7 +391,7 @@ fn wheel_and_batching_reproduce_heap_artifacts_byte_for_byte() {
     }
 
     let reference = &dirs[0];
-    for run in ["equiv_incast", "equiv_chaos", "equiv_stream"] {
+    for run in ["equiv_incast", "equiv_chaos", "equiv_stream", "equiv_ecmp"] {
         for file in ARTIFACTS {
             let want = read(reference, run, file);
             assert!(!want.is_empty(), "{run}/{file} is empty");
